@@ -1,0 +1,40 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench figures figures-quick examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+	gofmt -l . | tee /dev/stderr | wc -l | grep -q '^0$$'
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper table/figure at full scale (M=100).
+figures:
+	$(GO) run ./cmd/figures -fig all
+
+figures-quick:
+	$(GO) run ./cmd/figures -fig all -quick
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/theory
+	$(GO) run ./examples/dutycycle
+	$(GO) run ./examples/protocols
+	$(GO) run ./examples/crosslayer
+
+clean:
+	$(GO) clean ./...

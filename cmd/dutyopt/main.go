@@ -1,0 +1,103 @@
+// Command dutyopt configures the duty cycle — the paper's first
+// future-work direction. It drives the duty-cycle optimizer against the
+// simulator (or the analytic Section IV-B model) and prints the
+// gain-maximizing duty cycle plus the full gain curve, or, with -budget,
+// the minimum duty meeting a flooding-delay budget.
+//
+// Usage:
+//
+//	dutyopt [-protocol dbao] [-m 20] [-analytic] [-budget 0]
+//	        [-minduty 0.01] [-maxduty 0.5] [-toposeed 1] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ldcflood/internal/asciichart"
+	"ldcflood/internal/experiments"
+	"ldcflood/internal/optimize"
+	"ldcflood/internal/topology"
+)
+
+func main() {
+	var (
+		protocol = flag.String("protocol", "dbao", "protocol whose delay drives the optimization")
+		m        = flag.Int("m", 20, "packets per flood")
+		analytic = flag.Bool("analytic", false, "use the Section IV-B analytic delay model instead of simulation")
+		budget   = flag.Float64("budget", 0, "flooding-delay budget in slots (0 = maximize gain instead)")
+		minDuty  = flag.Float64("minduty", 0.01, "lower duty bracket")
+		maxDuty  = flag.Float64("maxduty", 0.5, "upper duty bracket")
+		topoSeed = flag.Uint64("toposeed", 1, "synthetic GreenOrbs topology seed")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		txRate   = flag.Float64("txrate", 0.05, "per-node transmissions/second for the lifetime model")
+	)
+	flag.Parse()
+	if err := run(*protocol, *m, *analytic, *budget, *minDuty, *maxDuty, *topoSeed, *seed, *txRate); err != nil {
+		fmt.Fprintln(os.Stderr, "dutyopt:", err)
+		os.Exit(1)
+	}
+}
+
+func run(protocol string, m int, analytic bool, budget, minDuty, maxDuty float64, topoSeed, seed uint64, txRate float64) error {
+	var delay optimize.DelayFunc
+	if analytic {
+		g := topology.GreenOrbs(topoSeed)
+		d, err := optimize.AnalyticDelay(g.N()-1, g.MeanLinkPRR(), 0.99, m)
+		if err != nil {
+			return err
+		}
+		delay = d
+		fmt.Printf("delay model: analytic (Section IV-B, mean PRR %.2f)\n", g.MeanLinkPRR())
+	} else {
+		opts := experiments.QuickSimOptions()
+		opts.M = m
+		opts.TopoSeed = topoSeed
+		opts.Seed = seed
+		delay = experiments.SimDelayFunc(protocol, opts)
+		fmt.Printf("delay model: simulation (%s, M=%d, GreenOrbs seed %d)\n", protocol, m, topoSeed)
+	}
+	cfg := optimize.Config{
+		TxPerSecond: txRate,
+		MinDuty:     minDuty,
+		MaxDuty:     maxDuty,
+		Samples:     10,
+		Refinements: 8,
+	}
+	if budget > 0 {
+		p, err := optimize.MinDutyForDelayBudget(cfg, delay, budget)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("delay budget %.0f slots:\n", budget)
+		fmt.Printf("  minimum duty %.2f%% (period %d slots)\n", p.Duty*100, p.Period)
+		fmt.Printf("  delay %.0f slots, lifetime %.0f days\n", p.Delay, p.Lifetime/86400)
+		return nil
+	}
+	res, err := optimize.Maximize(cfg, delay)
+	if err != nil {
+		return err
+	}
+	rows := make([][]string, 0, len(res.Curve))
+	var xs, ys []float64
+	for _, p := range res.Curve {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.2f%%", p.Duty*100),
+			fmt.Sprintf("%d", p.Period),
+			fmt.Sprintf("%.0f", p.Delay),
+			fmt.Sprintf("%.0f", p.Lifetime/86400),
+			fmt.Sprintf("%.0f", p.Gain),
+		})
+		xs = append(xs, p.Duty*100)
+		ys = append(ys, p.Gain)
+	}
+	fmt.Println(asciichart.Table([]string{"duty", "period", "delay/slots", "lifetime/days", "gain"}, rows))
+	chart := asciichart.Chart{Title: "networking gain vs duty cycle", XLabel: "duty (%)", YLabel: "gain", Width: 60, Height: 12}
+	if err := chart.Add("gain", xs, ys); err == nil {
+		fmt.Println(chart.Render())
+	}
+	fmt.Printf("optimum: duty %.2f%% (period %d) — delay %.0f slots, lifetime %.0f days, gain %.0f\n",
+		res.Best.Duty*100, res.Best.Period, res.Best.Delay, res.Best.Lifetime/86400, res.Best.Gain)
+	return nil
+}

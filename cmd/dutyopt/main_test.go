@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestRunAnalyticMaximize(t *testing.T) {
+	if err := run("dbao", 10, true, 0, 0.01, 0.5, 1, 1, 0.05); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAnalyticBudget(t *testing.T) {
+	if err := run("dbao", 10, true, 1000, 0.01, 0.5, 1, 1, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	// Impossible budget.
+	if err := run("dbao", 10, true, 1, 0.01, 0.5, 1, 1, 0.05); err == nil {
+		t.Fatal("impossible budget accepted")
+	}
+}
+
+func TestRunSimulationBacked(t *testing.T) {
+	if err := run("opt", 5, false, 300, 0.02, 0.5, 1, 1, 0.05); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadProtocol(t *testing.T) {
+	// Simulation-backed mode resolves the protocol lazily inside the delay
+	// function; a bogus name must surface as an error.
+	if err := run("bogus", 5, false, 0, 0.02, 0.5, 1, 1, 0.05); err == nil {
+		t.Fatal("bogus protocol accepted")
+	}
+}

@@ -1,0 +1,140 @@
+// Command floodsim runs one low-duty-cycle flooding simulation and prints
+// its metrics: per-packet flooding delay at the coverage target,
+// transmission/failure counts, and energy-model projections.
+//
+// Usage:
+//
+//	floodsim [-protocol opt|dbao|of|naive] [-duty 0.05] [-m 100]
+//	         [-coverage 0.99] [-seed 1] [-topo greenorbs|<file>]
+//	         [-toposeed 1] [-inject 1] [-v]
+//
+// The default topology is the synthetic 298-node GreenOrbs trace; -topo
+// accepts a trace file in the topogen text format instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ldcflood/internal/flood"
+	"ldcflood/internal/metrics"
+	"ldcflood/internal/rngutil"
+	"ldcflood/internal/schedule"
+	"ldcflood/internal/sim"
+	"ldcflood/internal/topology"
+	"ldcflood/internal/tracelog"
+)
+
+func main() {
+	var (
+		protoName = flag.String("protocol", "opt", "flooding protocol: opt, dbao, of, naive")
+		duty      = flag.Float64("duty", 0.05, "duty cycle in (0,1]")
+		m         = flag.Int("m", 100, "number of packets to flood")
+		coverage  = flag.Float64("coverage", 0.99, "delivery-ratio target for the delay metric")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		topoName  = flag.String("topo", "greenorbs", "topology: 'greenorbs', 'testbed', or a trace file path")
+		topoSeed  = flag.Uint64("toposeed", 1, "seed for the synthetic topology")
+		inject    = flag.Int("inject", 1, "slots between packet injections")
+		maxSlots  = flag.Int64("maxslots", 0, "slot horizon (0 = automatic)")
+		verbose   = flag.Bool("v", false, "print per-packet delays")
+		traceFile = flag.String("trace", "", "write the full event trace to this file")
+	)
+	flag.Parse()
+
+	if err := run(*protoName, *topoName, *duty, *m, *coverage, *seed, *topoSeed, *inject, *maxSlots, *verbose, *traceFile); err != nil {
+		fmt.Fprintln(os.Stderr, "floodsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(protoName, topoName string, duty float64, m int, coverage float64, seed, topoSeed uint64, inject int, maxSlots int64, verbose bool, traceFile string) error {
+	g, err := loadTopology(topoName, topoSeed)
+	if err != nil {
+		return err
+	}
+	p, err := flood.New(protoName)
+	if err != nil {
+		return err
+	}
+	if duty <= 0 || duty > 1 {
+		return fmt.Errorf("duty %v outside (0,1]", duty)
+	}
+	period := schedule.PeriodForDuty(duty)
+	scheds := schedule.AssignUniform(g.N(), period, rngutil.New(seed).SubName("schedule"))
+	var observer sim.Observer
+	var logger *tracelog.Logger
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		logger = tracelog.NewLogger(f)
+		observer = logger
+	}
+	res, err := sim.Run(sim.Config{
+		Graph:          g,
+		Schedules:      scheds,
+		Protocol:       p,
+		M:              m,
+		InjectInterval: inject,
+		Coverage:       coverage,
+		Seed:           seed,
+		MaxSlots:       maxSlots,
+		Observer:       observer,
+	})
+	if err != nil {
+		return err
+	}
+	if logger != nil {
+		if err := logger.Flush(); err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("topology:       %s (%d nodes, %d links, mean PRR %.2f)\n",
+		g.Name, g.N(), g.NumLinks(), g.MeanLinkPRR())
+	fmt.Printf("protocol:       %s\n", res.Protocol)
+	fmt.Printf("duty cycle:     %.1f%% (period %d slots)\n", duty*100, period)
+	fmt.Printf("packets:        %d (coverage target %d/%d nodes)\n", res.M, res.CoverNodes, g.N())
+	fmt.Printf("completed:      %v in %d slots\n", res.Completed, res.TotalSlots)
+	fmt.Printf("mean delay:     %.1f slots\n", res.MeanDelay())
+	fmt.Printf("transmissions:  %d\n", res.Transmissions)
+	fmt.Printf("failures:       %d (loss %d, collision %d, busy %d)\n",
+		res.Failures(), res.LossFailures, res.CollisionFailures, res.BusyFailures)
+	fmt.Printf("overheard:      %d\n", res.Overheard)
+
+	em := metrics.DefaultEnergyModel()
+	totalSeconds := float64(res.TotalSlots) * em.SlotSeconds
+	txRate := 0.0
+	if totalSeconds > 0 {
+		txRate = float64(res.Transmissions) / float64(g.N()) / totalSeconds
+	}
+	lifetime, delay, gain := em.NetworkingGain(duty, res.MeanDelay(), txRate)
+	fmt.Printf("est. lifetime:  %.1f days   flooding delay: %.2f s   gain: %.0f\n",
+		lifetime/86400, delay, gain)
+
+	if verbose {
+		fmt.Println("\npacket  inject  cover   delay")
+		for p := 0; p < res.M; p++ {
+			fmt.Printf("%6d  %6d  %5d  %6d\n", p, res.InjectTime[p], res.CoverTime[p], res.Delay[p])
+		}
+	}
+	return nil
+}
+
+func loadTopology(name string, topoSeed uint64) (*topology.Graph, error) {
+	switch name {
+	case "greenorbs":
+		return topology.GreenOrbs(topoSeed), nil
+	case "testbed":
+		return topology.Testbed(topoSeed), nil
+	}
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return topology.ReadText(f)
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ldcflood/internal/tracelog"
+)
+
+func TestRunGreenOrbs(t *testing.T) {
+	if err := run("opt", "greenorbs", 0.10, 5, 0.99, 1, 1, 1, 0, true, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTestbedTopology(t *testing.T) {
+	if err := run("dbao", "testbed", 0.10, 3, 0.99, 1, 1, 1, 0, false, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAllProtocols(t *testing.T) {
+	for _, p := range []string{"opt", "dbao", "of", "naive"} {
+		if err := run(p, "greenorbs", 0.20, 3, 0.99, 2, 1, 1, 0, false, ""); err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		proto string
+		topo  string
+		duty  float64
+	}{
+		{"bad protocol", "bogus", "greenorbs", 0.1},
+		{"bad duty", "opt", "greenorbs", 0},
+		{"bad duty high", "opt", "greenorbs", 1.5},
+		{"missing file", "opt", "/nonexistent/trace.txt", 0.1},
+	}
+	for _, c := range cases {
+		if err := run(c.proto, c.topo, c.duty, 2, 0.99, 1, 1, 1, 0, false, ""); err == nil {
+			t.Fatalf("%s accepted", c.name)
+		}
+	}
+}
+
+func TestRunWithTraceFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.txt")
+	if err := run("dbao", "greenorbs", 0.10, 3, 0.99, 1, 1, 1, 0, false, path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := tracelog.Parse(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tracelog.Summarize(events)
+	if s.Injections != 3 || s.Transmissions == 0 || s.Covered != 3 {
+		t.Fatalf("trace summary: %+v", s)
+	}
+}
+
+func TestLoadTopologyFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "topo.txt")
+	content := "graph demo 3\nlink 0 1 0.9\nlink 1 2 0.9\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := loadTopology(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.Name != "demo" {
+		t.Fatalf("loaded wrong graph: %v", g)
+	}
+	if err := run("opt", path, 0.5, 2, 1, 1, 1, 1, 0, false, ""); err != nil {
+		t.Fatal(err)
+	}
+}

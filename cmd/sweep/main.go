@@ -1,0 +1,197 @@
+// Command sweep runs a protocol × duty-cycle × seed grid of flooding
+// simulations and writes one CSV row per run — the batch front-end for
+// custom analyses beyond the canned figures.
+//
+// Usage:
+//
+//	sweep [-protocols opt,dbao,of] [-duties 0.02,0.05,0.1,0.2] [-seeds 3]
+//	      [-m 100] [-coverage 0.99] [-toposeed 1] [-syncerr 0]
+//	      [-out results.csv] [-parallel 0]
+//
+// Columns: protocol, duty, period, seed, mean_delay, p50_delay, p99_delay,
+// transmissions, failures, loss, collision, busy, sync, overheard,
+// total_slots, completed.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+
+	"ldcflood/internal/flood"
+	"ldcflood/internal/rngutil"
+	"ldcflood/internal/schedule"
+	"ldcflood/internal/sim"
+	"ldcflood/internal/stats"
+	"ldcflood/internal/topology"
+)
+
+func main() {
+	var (
+		protocols = flag.String("protocols", "opt,dbao,of", "comma-separated protocol names")
+		duties    = flag.String("duties", "0.02,0.05,0.10,0.20", "comma-separated duty cycles")
+		seeds     = flag.Int("seeds", 1, "number of seeds per cell (0..seeds-1)")
+		m         = flag.Int("m", 100, "packets per flood")
+		coverage  = flag.Float64("coverage", 0.99, "delivery-ratio target")
+		topoSeed  = flag.Uint64("toposeed", 1, "synthetic GreenOrbs topology seed")
+		syncErr   = flag.Float64("syncerr", 0, "local-synchronization miss probability")
+		out       = flag.String("out", "", "output CSV path (default stdout)")
+		parallel  = flag.Int("parallel", 0, "concurrent runs (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := run(w, *protocols, *duties, *seeds, *m, *coverage, *topoSeed, *syncErr, *parallel); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+type cell struct {
+	protocol string
+	duty     float64
+	seed     uint64
+}
+
+func run(w io.Writer, protocolsCSV, dutiesCSV string, seeds, m int, coverage float64, topoSeed uint64, syncErr float64, parallel int) error {
+	protocols := strings.Split(protocolsCSV, ",")
+	for i := range protocols {
+		protocols[i] = strings.TrimSpace(protocols[i])
+		if _, err := flood.New(protocols[i]); err != nil {
+			return err
+		}
+	}
+	var duties []float64
+	for _, d := range strings.Split(dutiesCSV, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(d), 64)
+		if err != nil {
+			return fmt.Errorf("bad duty %q: %v", d, err)
+		}
+		if v <= 0 || v > 1 {
+			return fmt.Errorf("duty %v outside (0,1]", v)
+		}
+		duties = append(duties, v)
+	}
+	if seeds < 1 {
+		return fmt.Errorf("need at least one seed")
+	}
+	if m < 1 {
+		return fmt.Errorf("need m >= 1")
+	}
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+
+	g := topology.GreenOrbs(topoSeed)
+	var cells []cell
+	for _, p := range protocols {
+		for _, d := range duties {
+			for s := 0; s < seeds; s++ {
+				cells = append(cells, cell{protocol: p, duty: d, seed: uint64(s)})
+			}
+		}
+	}
+
+	rows := make([][]string, len(cells))
+	errs := make([]error, len(cells))
+	sem := make(chan struct{}, parallel)
+	var wg sync.WaitGroup
+	for i, c := range cells {
+		wg.Add(1)
+		go func(i int, c cell) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			rows[i], errs[i] = runCell(g, c, m, coverage, syncErr)
+		}(i, c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	cw := csv.NewWriter(w)
+	header := []string{
+		"protocol", "duty", "period", "seed",
+		"mean_delay", "p50_delay", "p99_delay",
+		"transmissions", "failures", "loss", "collision", "busy", "sync",
+		"overheard", "total_slots", "completed",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func runCell(g *topology.Graph, c cell, m int, coverage, syncErr float64) ([]string, error) {
+	p, err := flood.New(c.protocol)
+	if err != nil {
+		return nil, err
+	}
+	period := schedule.PeriodForDuty(c.duty)
+	scheds := schedule.AssignUniform(g.N(), period, rngutil.New(c.seed).SubName("schedule"))
+	res, err := sim.Run(sim.Config{
+		Graph:         g,
+		Schedules:     scheds,
+		Protocol:      p,
+		M:             m,
+		Coverage:      coverage,
+		Seed:          c.seed,
+		SyncErrorProb: syncErr,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%s at duty %v seed %d: %w", c.protocol, c.duty, c.seed, err)
+	}
+	var delays []float64
+	for _, d := range res.Delay {
+		if d >= 0 {
+			delays = append(delays, float64(d))
+		}
+	}
+	p50, p99 := "", ""
+	if len(delays) > 0 {
+		p50 = fmt.Sprintf("%.1f", stats.Percentile(delays, 50))
+		p99 = fmt.Sprintf("%.1f", stats.Percentile(delays, 99))
+	}
+	return []string{
+		res.Protocol,
+		fmt.Sprintf("%.4f", c.duty),
+		fmt.Sprintf("%d", period),
+		fmt.Sprintf("%d", c.seed),
+		fmt.Sprintf("%.1f", res.MeanDelay()),
+		p50,
+		p99,
+		fmt.Sprintf("%d", res.Transmissions),
+		fmt.Sprintf("%d", res.Failures()),
+		fmt.Sprintf("%d", res.LossFailures),
+		fmt.Sprintf("%d", res.CollisionFailures),
+		fmt.Sprintf("%d", res.BusyFailures),
+		fmt.Sprintf("%d", res.SyncFailures),
+		fmt.Sprintf("%d", res.Overheard),
+		fmt.Sprintf("%d", res.TotalSlots),
+		fmt.Sprintf("%v", res.Completed),
+	}, nil
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"testing"
+)
+
+func TestRunProducesCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "opt,dbao", "0.10,0.20", 2, 5, 0.99, 1, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header + 2 protocols × 2 duties × 2 seeds.
+	if len(records) != 1+8 {
+		t.Fatalf("rows = %d, want 9", len(records))
+	}
+	if records[0][0] != "protocol" || len(records[0]) != 16 {
+		t.Fatalf("bad header: %v", records[0])
+	}
+	for _, rec := range records[1:] {
+		if rec[15] != "true" {
+			t.Fatalf("incomplete run in row %v", rec)
+		}
+		delay, err := strconv.ParseFloat(rec[4], 64)
+		if err != nil || delay <= 0 {
+			t.Fatalf("bad mean delay %q", rec[4])
+		}
+	}
+}
+
+func TestRunOrderingIsDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run(&a, "opt", "0.10", 1, 3, 0.99, 1, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&b, "opt", "0.10", 1, 3, 0.99, 1, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("parallelism changed the output")
+	}
+}
+
+func TestRunSyncErrColumn(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "opt", "0.10", 1, 5, 0.99, 1, 0.3, 1); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	syncFails, err := strconv.Atoi(records[1][12])
+	if err != nil || syncFails == 0 {
+		t.Fatalf("sync failures column = %q, want > 0", records[1][12])
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	cases := []struct {
+		protocols, duties string
+		seeds, m          int
+	}{
+		{"bogus", "0.1", 1, 5},
+		{"opt", "zero", 1, 5},
+		{"opt", "0", 1, 5},
+		{"opt", "1.5", 1, 5},
+		{"opt", "0.1", 0, 5},
+		{"opt", "0.1", 1, 0},
+	}
+	for i, c := range cases {
+		if err := run(&buf, c.protocols, c.duties, c.seeds, c.m, 0.99, 1, 0, 1); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}

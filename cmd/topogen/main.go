@@ -1,0 +1,106 @@
+// Command topogen generates, inspects and converts the topologies used by
+// the flooding experiments.
+//
+// Usage:
+//
+//	topogen -type greenorbs [-seed 1] [-out trace.txt] [-format text|json] [-stats]
+//	topogen -type rgg -nodes 100 [-field 100] [-seed 1] ...
+//	topogen -type grid -rows 10 -cols 10 [-prr 0.9] ...
+//	topogen -in trace.txt -stats           # inspect an existing trace
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ldcflood/internal/topology"
+)
+
+func main() {
+	var (
+		typ    = flag.String("type", "greenorbs", "topology type: greenorbs, testbed, rgg, grid, line, star, complete")
+		seed   = flag.Uint64("seed", 1, "generator seed")
+		nodes  = flag.Int("nodes", 100, "node count (rgg, line, star, complete)")
+		field  = flag.Float64("field", 100, "field side length in meters (rgg)")
+		rows   = flag.Int("rows", 10, "grid rows")
+		cols   = flag.Int("cols", 10, "grid cols")
+		prr    = flag.Float64("prr", 0.9, "uniform PRR (grid, line, star, complete)")
+		minPRR = flag.Float64("minprr", 0.1, "minimum link PRR (greenorbs, rgg)")
+		in     = flag.String("in", "", "read an existing trace instead of generating")
+		out    = flag.String("out", "", "output file (default stdout)")
+		format = flag.String("format", "text", "output format: text or json")
+		stats  = flag.Bool("stats", false, "print structural statistics to stderr")
+	)
+	flag.Parse()
+
+	if err := run(*typ, *in, *out, *format, *seed, *nodes, *field, *rows, *cols, *prr, *minPRR, *stats); err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(typ, in, out, format string, seed uint64, nodes int, field float64, rows, cols int, prr, minPRR float64, stats bool) error {
+	g, err := build(typ, in, seed, nodes, field, rows, cols, prr, minPRR)
+	if err != nil {
+		return err
+	}
+	if stats {
+		s := g.Analyze()
+		fmt.Fprintf(os.Stderr, "%s\n", g)
+		fmt.Fprintf(os.Stderr, "mean degree %.1f (min %d, max %d), diameter %d, connected %v\n",
+			s.MeanDegree, s.MinDegree, s.MaxDegree, s.Diameter, s.Connected)
+		fmt.Fprintf(os.Stderr, "link PRR: %s\n", s.PRR)
+		fmt.Fprintf(os.Stderr, "transitional-link fraction %.2f, isolated nodes %d\n", s.Transitional, s.Isolated)
+	}
+	var w io.Writer = os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch format {
+	case "text":
+		return g.WriteText(w)
+	case "json":
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(g)
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+}
+
+func build(typ, in string, seed uint64, nodes int, field float64, rows, cols int, prr, minPRR float64) (*topology.Graph, error) {
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return topology.ReadText(f)
+	}
+	switch typ {
+	case "greenorbs":
+		return topology.GreenOrbs(seed), nil
+	case "testbed":
+		return topology.Testbed(seed), nil
+	case "rgg":
+		return topology.RandomGeometric(nodes, field, field, topology.ForestRadio(), minPRR, seed)
+	case "grid":
+		return topology.Grid(rows, cols, prr), nil
+	case "line":
+		return topology.Line(nodes, prr), nil
+	case "star":
+		return topology.Star(nodes, prr), nil
+	case "complete":
+		return topology.Complete(nodes, prr), nil
+	default:
+		return nil, fmt.Errorf("unknown topology type %q", typ)
+	}
+}

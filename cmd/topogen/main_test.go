@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ldcflood/internal/topology"
+)
+
+func TestBuildTypes(t *testing.T) {
+	cases := []struct {
+		typ  string
+		want int
+	}{
+		{"greenorbs", 298},
+		{"testbed", 139},
+		{"rgg", 40},
+		{"grid", 20},
+		{"line", 40},
+		{"star", 40},
+		{"complete", 40},
+	}
+	for _, c := range cases {
+		g, err := build(c.typ, "", 1, 40, 80, 4, 5, 0.9, 0.1)
+		if err != nil {
+			t.Fatalf("%s: %v", c.typ, err)
+		}
+		if g.N() != c.want {
+			t.Fatalf("%s: %d nodes, want %d", c.typ, g.N(), c.want)
+		}
+	}
+	if _, err := build("bogus", "", 1, 10, 10, 2, 2, 0.9, 0.1); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+}
+
+func TestBuildFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "in.txt")
+	if err := os.WriteFile(path, []byte("graph g 2\nlink 0 1 0.5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := build("ignored", path, 1, 0, 0, 0, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 2 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if _, err := build("x", "/nonexistent", 1, 0, 0, 0, 0, 0, 0); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRunWritesTextAndJSON(t *testing.T) {
+	dir := t.TempDir()
+	textPath := filepath.Join(dir, "g.txt")
+	if err := run("grid", "", textPath, "text", 1, 0, 0, 3, 3, 0.8, 0.1, true); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(textPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := topology.ReadText(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 9 {
+		t.Fatalf("round-trip N = %d", g.N())
+	}
+
+	jsonPath := filepath.Join(dir, "g.json")
+	if err := run("grid", "", jsonPath, "json", 1, 0, 0, 3, 3, 0.8, 0.1, false); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty json output")
+	}
+
+	if err := run("grid", "", filepath.Join(dir, "x"), "yaml", 1, 0, 0, 3, 3, 0.8, 0.1, false); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}

@@ -1,0 +1,60 @@
+// Duty-cycle trade-off: the paper's closing message (Section V-C2) is that
+// it is NOT always beneficial to set the duty cycle extremely low — the
+// lifetime gained linearly is outweighed by the exponentially deteriorating
+// flooding delay. This example sweeps the duty cycle on the GreenOrbs
+// trace, measures flooding delay with DBAO, combines it with the energy
+// model, and shows the networking gain peaking at an intermediate duty.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ldcflood/internal/flood"
+	"ldcflood/internal/metrics"
+	"ldcflood/internal/rngutil"
+	"ldcflood/internal/schedule"
+	"ldcflood/internal/sim"
+	"ldcflood/internal/topology"
+)
+
+func main() {
+	g := topology.GreenOrbs(1)
+	em := metrics.DefaultEnergyModel()
+	duties := []float64{0.50, 0.20, 0.10, 0.05, 0.02, 0.01}
+
+	fmt.Println("duty    period  delay/slots  lifetime/days  gain (lifetime/delay)")
+	bestDuty, bestGain := 0.0, 0.0
+	for _, duty := range duties {
+		period := schedule.PeriodForDuty(duty)
+		p, err := flood.New("dbao")
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sim.Run(sim.Config{
+			Graph:     g,
+			Schedules: schedule.AssignUniform(g.N(), period, rngutil.New(3).SubName("schedule")),
+			Protocol:  p,
+			M:         20,
+			Coverage:  0.99,
+			Seed:      3,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.Completed {
+			log.Fatalf("duty %.0f%%: flood incomplete", duty*100)
+		}
+		txRate := float64(res.Transmissions) / float64(g.N()) /
+			(float64(res.TotalSlots) * em.SlotSeconds)
+		lifetime, delaySec, gain := em.NetworkingGain(duty, res.MeanDelay(), txRate)
+		fmt.Printf("%4.0f%%   %6d  %11.1f  %13.1f  %10.0f\n",
+			duty*100, period, res.MeanDelay(), lifetime/86400, gain)
+		_ = delaySec
+		if gain > bestGain {
+			bestGain, bestDuty = gain, duty
+		}
+	}
+	fmt.Printf("\nnetworking gain peaks at duty %.0f%% — going lower trades away more delay\n", bestDuty*100)
+	fmt.Println("than the lifetime it buys (the paper's Section V-C2 conclusion).")
+}

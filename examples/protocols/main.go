@@ -1,0 +1,70 @@
+// Protocol comparison: Fig. 9/10 in miniature. Floods the same packet
+// stream through OPT (oracle), DBAO, OF and the naive baseline on the
+// GreenOrbs trace at 5% duty cycle and prints the per-packet delay
+// staircase plus the summary table — the blocking effect saturating for
+// OPT/DBAO (Corollary 1) and OF trailing both is visible directly.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ldcflood/internal/asciichart"
+	"ldcflood/internal/flood"
+	"ldcflood/internal/rngutil"
+	"ldcflood/internal/schedule"
+	"ldcflood/internal/sim"
+	"ldcflood/internal/topology"
+)
+
+func main() {
+	g := topology.GreenOrbs(1)
+	period := schedule.PeriodForDuty(0.05)
+	m := 30
+
+	chart := asciichart.Chart{
+		Title:  "per-packet flooding delay (GreenOrbs, duty 5%)",
+		XLabel: "packet index",
+		YLabel: "delay / slots",
+		Width:  68, Height: 16,
+	}
+	var rows [][]string
+	for _, name := range flood.Names() {
+		p, err := flood.New(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sim.Run(sim.Config{
+			Graph:     g,
+			Schedules: schedule.AssignUniform(g.N(), period, rngutil.New(11).SubName("schedule")),
+			Protocol:  p,
+			M:         m,
+			Coverage:  0.99,
+			Seed:      11,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var xs, ys []float64
+		for pkt, d := range res.Delay {
+			if d >= 0 {
+				xs = append(xs, float64(pkt))
+				ys = append(ys, float64(d))
+			}
+		}
+		chart.MustAdd(res.Protocol, xs, ys)
+		rows = append(rows, []string{
+			res.Protocol,
+			fmt.Sprintf("%.1f", res.MeanDelay()),
+			fmt.Sprintf("%d", res.Transmissions),
+			fmt.Sprintf("%d", res.Failures()),
+			fmt.Sprintf("%d", res.Overheard),
+		})
+	}
+	fmt.Println(chart.Render())
+	fmt.Println(asciichart.Table(
+		[]string{"protocol", "mean delay", "tx", "failures", "overheard"}, rows))
+	fmt.Println("OPT bounds what any practical protocol can achieve; DBAO tracks it closely")
+	fmt.Println("(the residue is hidden-terminal collisions), OF pays for tree waiting, and")
+	fmt.Println("the naive baseline shows why duty-cycle-aware flooding matters.")
+}

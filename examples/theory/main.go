@@ -1,0 +1,62 @@
+// Theory playground: exercises the analytical side of the library — the
+// Galton-Watson view of single-packet flooding (Lemma 1/2), the
+// multi-packet delay limits (Theorem 1/2 and their knee), Algorithm 1 on
+// the compact time scale, and the k-class link-loss characteristic root.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ldcflood/internal/analysis"
+	"ldcflood/internal/matrixflood"
+	"ldcflood/internal/rngutil"
+)
+
+func main() {
+	fmt.Println("--- Lemma 2: single-packet flooding waiting limit ---")
+	for _, n := range []int{256, 1024, 4096} {
+		fmt.Printf("N=%5d: FWL floor = %2d compact slots (ideal links)\n",
+			n, analysis.FWLFloor(n))
+	}
+	gw, err := analysis.NewGaltonWatson(0.7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rngutil.New(1)
+	gens, ok := gw.GenerationsToReach(1025, 1000, rng)
+	fmt.Printf("simulated Galton-Watson (links 70%% reliable): covered N=1024 in %d generations (ok=%v);\n", gens, ok)
+	fmt.Printf("Lemma 2 predicts %d\n\n", analysis.Lemma2FWL(1024, gw.Mu()))
+
+	fmt.Println("--- Theorem 1: the knee in the multi-packet delay limit ---")
+	n, T := 1024, 5
+	knee := analysis.KneePoint(n)
+	for _, m := range []int{1, knee / 2, knee, knee * 2} {
+		fmt.Printf("N=%d, T=%d, M=%2d: E[FDL] = %6.1f slots", n, T, m, analysis.FDLTheorem1(n, m, T))
+		if m == knee {
+			fmt.Printf("   <- knee at M = m = %d", knee)
+		}
+		fmt.Println()
+	}
+	b := analysis.FDLTheorem2(300, 10, 5)
+	fmt.Printf("arbitrary N=300, M=10: Theorem 2 brackets E[FDL] in [%.1f, %.1f]\n\n", b.Lower, b.Upper)
+
+	fmt.Println("--- Algorithm 1 on the compact time scale (N=64, M=10) ---")
+	res, err := matrixflood.Run(matrixflood.Config{N: 64, M: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("per-packet waitings: %v\n", res.Waitings)
+	fmt.Printf("Table I bounds:      %v\n", analysis.Waitings(64, 10))
+	fmt.Printf("total %d compact slots (%d type-2 slots doubled under half-duplex: %d)\n\n",
+		res.TotalSlots, res.Type2Slots, res.HalfDuplexSlots)
+
+	fmt.Println("--- Section IV-B: link loss magnifies the duty-cycle delay ---")
+	fmt.Println("duty    k=1.25   k=2.00   amplification")
+	for _, duty := range []float64{0.20, 0.10, 0.05, 0.02} {
+		T := int(1/duty + 0.5)
+		good := analysis.PredictedDelay(298, 0.99, 1.25, T)
+		bad := analysis.PredictedDelay(298, 0.99, 2.00, T)
+		fmt.Printf("%4.0f%%  %7.1f  %7.1f  %.2fx\n", duty*100, good, bad, bad/good)
+	}
+}

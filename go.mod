@@ -1,0 +1,3 @@
+module ldcflood
+
+go 1.22

@@ -1,0 +1,91 @@
+package ldcflood
+
+// Repository-level acceptance tests: build and run every example binary
+// and spot-check its output, so a release never ships with a broken
+// quickstart. Skipped under -short (each exec compiles a binary).
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+func runExample(t *testing.T, path string, wantSubstrings ...string) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("examples are skipped in -short mode")
+	}
+	cmd := exec.Command("go", "run", path)
+	done := make(chan struct{})
+	var out []byte
+	var err error
+	go func() {
+		out, err = cmd.CombinedOutput()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Minute):
+		_ = cmd.Process.Kill()
+		t.Fatalf("%s timed out", path)
+	}
+	if err != nil {
+		t.Fatalf("%s failed: %v\n%s", path, err, out)
+	}
+	text := string(out)
+	for _, want := range wantSubstrings {
+		if !strings.Contains(text, want) {
+			t.Fatalf("%s output missing %q:\n%s", path, want, text)
+		}
+	}
+}
+
+func TestExampleQuickstart(t *testing.T) {
+	runExample(t, "./examples/quickstart",
+		"mean flooding delay:", "packet  0:", "packet 19:")
+}
+
+func TestExampleTheory(t *testing.T) {
+	runExample(t, "./examples/theory",
+		"Lemma 2", "knee at M = m = 11", "Table I bounds")
+}
+
+func TestExampleDutycycle(t *testing.T) {
+	runExample(t, "./examples/dutycycle",
+		"networking gain peaks", "lifetime")
+}
+
+func TestExampleProtocols(t *testing.T) {
+	runExample(t, "./examples/protocols",
+		"OPT", "DBAO", "OF", "Naive", "mean delay")
+}
+
+func TestExampleCrosslayer(t *testing.T) {
+	runExample(t, "./examples/crosslayer",
+		"joint optimum", "optimizer refinement", "delay budget")
+}
+
+func TestExampleTracing(t *testing.T) {
+	runExample(t, "./examples/tracing",
+		"trace:", "busiest transmitters", "packet timeline")
+}
+
+func TestCLISmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke tests are skipped in -short mode")
+	}
+	cases := [][]string{
+		{"run", "./cmd/floodsim", "-protocol", "opt", "-duty", "0.2", "-m", "3"},
+		{"run", "./cmd/figures", "-fig", "fig5,table1"},
+		{"run", "./cmd/topogen", "-type", "grid", "-rows", "3", "-cols", "3", "-stats"},
+		{"run", "./cmd/dutyopt", "-analytic", "-m", "5"},
+		{"run", "./cmd/sweep", "-protocols", "opt", "-duties", "0.2", "-seeds", "1", "-m", "3"},
+	}
+	for _, args := range cases {
+		out, err := exec.Command("go", args...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("go %v failed: %v\n%s", args, err, out)
+		}
+	}
+}

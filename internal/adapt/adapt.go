@@ -1,0 +1,131 @@
+// Package adapt implements dynamic duty-cycle control in the spirit of
+// DutyCon (Wang et al., IWQoS'10 — the paper's reference [22]): instead of
+// a fixed network-wide duty cycle, every node adjusts its own period from
+// local feedback so that a flooding-delay target is met with as little
+// radio-on time as possible. It closes the loop the paper's Section VI
+// calls for — "configure the duty cycle length such that the obtained
+// networking gains can be maximized" — at run time rather than design
+// time.
+//
+// Attach a Controller to the simulator through sim.Config.Adapt /
+// AdaptEvery; it observes each node's staleness (how long it has been
+// missing its oldest outstanding packet) and multiplicatively tightens or
+// relaxes that node's period with hysteresis.
+package adapt
+
+import (
+	"fmt"
+
+	"ldcflood/internal/schedule"
+	"ldcflood/internal/sim"
+)
+
+// Controller is a per-node multiplicative-increase/decrease duty
+// controller. The zero value is not usable; construct with NewController.
+type Controller struct {
+	// TargetStaleness is the delay budget in slots: a node missing a
+	// packet older than this tightens (halves) its period.
+	TargetStaleness int64
+	// MinPeriod / MaxPeriod bound each node's period.
+	MinPeriod, MaxPeriod int
+	// RelaxAfter is the number of consecutive adaptation epochs a node
+	// must be fully caught up before it relaxes (doubles) its period —
+	// the hysteresis preventing oscillation.
+	RelaxAfter int
+
+	caughtUp []int // consecutive caught-up epochs per node
+	// Adaptations counts period changes (diagnostics).
+	Adaptations int
+}
+
+// NewController validates and builds a controller.
+func NewController(targetStaleness int64, minPeriod, maxPeriod, relaxAfter int) (*Controller, error) {
+	if targetStaleness < 1 {
+		return nil, fmt.Errorf("adapt: target staleness %d must be >= 1", targetStaleness)
+	}
+	if minPeriod < 1 || maxPeriod < minPeriod {
+		return nil, fmt.Errorf("adapt: bad period bounds [%d, %d]", minPeriod, maxPeriod)
+	}
+	if relaxAfter < 1 {
+		return nil, fmt.Errorf("adapt: relaxAfter %d must be >= 1", relaxAfter)
+	}
+	return &Controller{
+		TargetStaleness: targetStaleness,
+		MinPeriod:       minPeriod,
+		MaxPeriod:       maxPeriod,
+		RelaxAfter:      relaxAfter,
+	}, nil
+}
+
+// Staleness returns how many slots node has been waiting for its oldest
+// missing injected packet (0 if it holds everything injected so far).
+func Staleness(w *sim.World, node int) int64 {
+	var worst int64
+	for p := 0; p < w.Injected(); p++ {
+		if !w.Has(p, node) {
+			if age := w.Now() - w.InjectSlot(p); age > worst {
+				worst = age
+			}
+		}
+	}
+	return worst
+}
+
+// Adapt implements the sim.Config.Adapt hook.
+func (c *Controller) Adapt(w *sim.World, schedules []*schedule.Schedule) {
+	if c.caughtUp == nil {
+		c.caughtUp = make([]int, len(schedules))
+	}
+	for i, s := range schedules {
+		if i == 0 {
+			continue // the source does not duty-cycle its receptions
+		}
+		period := s.Period()
+		switch {
+		case Staleness(w, i) > c.TargetStaleness:
+			c.caughtUp[i] = 0
+			if period > c.MinPeriod {
+				newPeriod := period / 2
+				if newPeriod < c.MinPeriod {
+					newPeriod = c.MinPeriod
+				}
+				schedules[i] = reschedule(s, newPeriod)
+				c.Adaptations++
+			}
+		case !w.NeedsAnything(i):
+			c.caughtUp[i]++
+			if c.caughtUp[i] >= c.RelaxAfter && period < c.MaxPeriod {
+				newPeriod := period * 2
+				if newPeriod > c.MaxPeriod {
+					newPeriod = c.MaxPeriod
+				}
+				schedules[i] = reschedule(s, newPeriod)
+				c.caughtUp[i] = 0
+				c.Adaptations++
+			}
+		default:
+			c.caughtUp[i] = 0
+		}
+	}
+}
+
+// reschedule keeps the node's wake phase as stable as possible while
+// changing the period: the first active slot is reduced modulo the new
+// period, so local synchronization estimates degrade gracefully.
+func reschedule(s *schedule.Schedule, newPeriod int) *schedule.Schedule {
+	slot := s.ActiveSlots()[0] % newPeriod
+	return schedule.NewSingleSlot(newPeriod, slot)
+}
+
+// MeanDuty returns the average duty ratio across a schedule table — the
+// energy-side summary to pair with the delay achieved.
+func MeanDuty(schedules []*schedule.Schedule) float64 {
+	if len(schedules) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, s := range schedules {
+		sum += s.DutyRatio()
+	}
+	return sum / float64(len(schedules))
+}

@@ -1,0 +1,180 @@
+package adapt
+
+import (
+	"testing"
+
+	"ldcflood/internal/flood"
+	"ldcflood/internal/rngutil"
+	"ldcflood/internal/schedule"
+	"ldcflood/internal/sim"
+	"ldcflood/internal/topology"
+)
+
+func TestNewControllerValidation(t *testing.T) {
+	cases := []struct {
+		target            int64
+		minP, maxP, relax int
+	}{
+		{0, 5, 100, 2},
+		{100, 0, 100, 2},
+		{100, 50, 10, 2},
+		{100, 5, 100, 0},
+	}
+	for i, c := range cases {
+		if _, err := NewController(c.target, c.minP, c.maxP, c.relax); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+	if _, err := NewController(200, 5, 100, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaleness(t *testing.T) {
+	g := topology.Line(3, 1)
+	var captured *sim.World
+	p := &sim.FuncProtocol{
+		ResetFunc: func(w *sim.World) { captured = w },
+	}
+	scheds := []*schedule.Schedule{schedule.AlwaysOn(), schedule.AlwaysOn(), schedule.AlwaysOn()}
+	// Silent protocol: after a few slots, node 1 is missing packet 0 whose
+	// age equals the elapsed time.
+	if _, err := sim.Run(sim.Config{
+		Graph: g, Schedules: scheds, Protocol: p,
+		M: 1, Coverage: 1, Seed: 1, MaxSlots: 5,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if s := Staleness(captured, 0); s != 0 {
+		t.Fatalf("source staleness %d, want 0", s)
+	}
+	if s := Staleness(captured, 1); s <= 0 {
+		t.Fatalf("starving node staleness %d, want > 0", s)
+	}
+}
+
+func TestRescheduleKeepsPhase(t *testing.T) {
+	s := schedule.NewSingleSlot(40, 27)
+	r := reschedule(s, 10)
+	if r.Period() != 10 || r.ActiveSlots()[0] != 7 {
+		t.Fatalf("rescheduled to %v", r)
+	}
+}
+
+func TestMeanDuty(t *testing.T) {
+	scheds := []*schedule.Schedule{
+		schedule.NewSingleSlot(10, 0), // 0.1
+		schedule.NewSingleSlot(20, 0), // 0.05
+	}
+	if got := MeanDuty(scheds); got < 0.075-1e-12 || got > 0.075+1e-12 {
+		t.Fatalf("MeanDuty = %v", got)
+	}
+	if MeanDuty(nil) != 0 {
+		t.Fatal("empty table should be 0")
+	}
+}
+
+// The headline behaviour: under continuous traffic the controller tightens
+// starving nodes; once traffic stops, nodes relax toward MaxPeriod —
+// delay target met with less energy than a statically tight network.
+func TestControllerAdaptsBothWays(t *testing.T) {
+	g := topology.GreenOrbs(2)
+	n := g.N()
+	ctrl, err := NewController(100, 5, 200, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := flood.New("dbao")
+	// Start everyone extremely lazy (period 200 ≈ 0.5% duty).
+	scheds := schedule.AssignUniform(n, 200, rngutil.New(3).SubName("schedule"))
+	res, err := sim.Run(sim.Config{
+		Graph: g, Schedules: scheds, Protocol: p,
+		M: 10, Coverage: 0.99, Seed: 3,
+		Adapt: ctrl.Adapt, AdaptEvery: 50, MaxSlots: 3_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("adaptive run incomplete")
+	}
+	if ctrl.Adaptations == 0 {
+		t.Fatal("controller never adapted")
+	}
+	// Compare with the static lazy network: adaptation must be much
+	// faster.
+	pStatic, _ := flood.New("dbao")
+	static, err := sim.Run(sim.Config{
+		Graph: g, Schedules: schedule.AssignUniform(n, 200, rngutil.New(3).SubName("schedule")),
+		Protocol: pStatic, M: 10, Coverage: 0.99, Seed: 3, MaxSlots: 3_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if static.Completed && res.MeanDelay() >= static.MeanDelay() {
+		t.Fatalf("adaptation did not help: %.0f vs static %.0f", res.MeanDelay(), static.MeanDelay())
+	}
+	// And cheaper than a statically tight network (period 5) in awake
+	// time per slot.
+	awakeFrac := func(r *sim.Result) float64 {
+		var sum int64
+		for _, a := range r.AwakeSlotsPerNode {
+			sum += a
+		}
+		return float64(sum) / float64(int64(n)*r.TotalSlots)
+	}
+	pTight, _ := flood.New("dbao")
+	tight, err := sim.Run(sim.Config{
+		Graph: g, Schedules: schedule.AssignUniform(n, 5, rngutil.New(3).SubName("schedule")),
+		Protocol: pTight, M: 10, Coverage: 0.99, Seed: 3, MaxSlots: 3_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if awakeFrac(res) >= awakeFrac(tight) {
+		t.Fatalf("adaptive awake fraction %.3f not below statically tight %.3f",
+			awakeFrac(res), awakeFrac(tight))
+	}
+	t.Logf("delay: adaptive %.0f, static-lazy %.0f (completed=%v), static-tight %.0f; awake: adaptive %.3f vs tight %.3f",
+		res.MeanDelay(), static.MeanDelay(), static.Completed, tight.MeanDelay(), awakeFrac(res), awakeFrac(tight))
+}
+
+func TestAdaptHookValidation(t *testing.T) {
+	g := topology.Line(2, 1)
+	scheds := []*schedule.Schedule{schedule.AlwaysOn(), schedule.AlwaysOn()}
+	_, err := sim.Run(sim.Config{
+		Graph: g, Schedules: scheds, Protocol: &sim.FuncProtocol{},
+		M: 1, Adapt: func(*sim.World, []*schedule.Schedule) {}, AdaptEvery: 0,
+	})
+	if err == nil {
+		t.Fatal("Adapt without AdaptEvery accepted")
+	}
+	// A hook that nils out a schedule must be rejected at runtime.
+	_, err = sim.Run(sim.Config{
+		Graph: g, Schedules: scheds, Protocol: &sim.FuncProtocol{},
+		M: 1, MaxSlots: 10, AdaptEvery: 2,
+		Adapt: func(w *sim.World, s []*schedule.Schedule) { s[1] = nil },
+	})
+	if err == nil {
+		t.Fatal("nil schedule from Adapt accepted")
+	}
+}
+
+func TestAdaptDoesNotMutateCallerSlice(t *testing.T) {
+	g := topology.Line(2, 1)
+	orig := schedule.NewSingleSlot(10, 3)
+	scheds := []*schedule.Schedule{schedule.AlwaysOn(), orig}
+	_, err := sim.Run(sim.Config{
+		Graph: g, Schedules: scheds, Protocol: &sim.FuncProtocol{},
+		M: 1, MaxSlots: 20, AdaptEvery: 5,
+		Adapt: func(w *sim.World, s []*schedule.Schedule) {
+			s[1] = schedule.AlwaysOn()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scheds[1] != orig {
+		t.Fatal("engine mutated the caller's schedule slice")
+	}
+}

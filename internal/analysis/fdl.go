@@ -1,0 +1,144 @@
+package analysis
+
+import "fmt"
+
+// Waitings returns Table I: Wp, the number of compact-time waitings the
+// last copy of packet p experiences under Algorithm 1, for p = 0..M-1.
+// With m = ⌈log2(1+N)⌉:
+//
+//	M <  m: Wp = m + p
+//	M >= m: Wp = m + min(p, m-1)   (the blocking effect saturates)
+//
+// It panics for invalid N or M.
+func Waitings(n, m2 int) []int {
+	if n < 1 {
+		panic("analysis: Waitings needs N >= 1")
+	}
+	if m2 < 1 {
+		panic("analysis: Waitings needs M >= 1")
+	}
+	m := FWLFloor(n)
+	out := make([]int, m2)
+	for p := range out {
+		w := p
+		if w > m-1 {
+			w = m - 1
+		}
+		out[p] = m + w
+	}
+	return out
+}
+
+// FWLMulti returns the multi-packet Flooding Waiting Limit used in the
+// proof of Theorem 1: K_{M-1} + W_{M-1}, the compact-time completion of the
+// last packet.
+func FWLMulti(n, m2 int) int {
+	w := Waitings(n, m2)
+	return (m2 - 1) + w[m2-1]
+}
+
+// FDLTheorem1 returns E[FDL], the expected multi-packet flooding delay
+// limit in original time slots (Theorem 1), for an ideal low-duty-cycle
+// network with one source, N sensors, M packets and duty period T:
+//
+//	M <  m: E[FDL] = T(m/2 + M - 1)
+//	M >= m: E[FDL] = T(m + M/2 - 1)
+//
+// with m = ⌈log2(1+N)⌉. It panics for invalid arguments.
+func FDLTheorem1(n, m2, t int) float64 {
+	if t < 1 {
+		panic(fmt.Sprintf("analysis: period T=%d must be >= 1", t))
+	}
+	if n < 1 || m2 < 1 {
+		panic("analysis: FDLTheorem1 needs N >= 1 and M >= 1")
+	}
+	m := float64(FWLFloor(n))
+	mf, tf := float64(m2), float64(t)
+	if m2 < int(m) {
+		return tf * (m/2 + mf - 1)
+	}
+	return tf * (m + mf/2 - 1)
+}
+
+// WaitingDistribution returns the per-waiting queueing-delay distribution
+// Theorem 1's proof establishes for Algorithm 1's policy: each compact
+// waiting costs d_h original slots with P(d_h = k) = 1/T for k = 0..T-1.
+// The paper notes this uniformity "does not hold for an arbitrary flooding
+// policy". The returned slice has length T and sums to 1.
+func WaitingDistribution(t int) []float64 {
+	if t < 1 {
+		panic("analysis: WaitingDistribution needs T >= 1")
+	}
+	out := make([]float64, t)
+	for i := range out {
+		out[i] = 1 / float64(t)
+	}
+	return out
+}
+
+// FDLVariance returns Var[FDL | FWL]: with FWL independent uniform
+// waitings on {0..T-1}, the variance is FWL × (T²-1)/12. Together with
+// FDLTheorem1 this gives concentration bounds on the realized delay.
+func FDLVariance(n, m2, t int) float64 {
+	if t < 1 || n < 1 || m2 < 1 {
+		panic("analysis: FDLVariance needs N, M, T >= 1")
+	}
+	fwl := float64(FWLMulti(n, m2))
+	tf := float64(t)
+	return fwl * (tf*tf - 1) / 12
+}
+
+// FDLMax returns the worst-case (rather than expected) delay limit
+// T × FWL — the paper notes "there is only a factor 2 difference between
+// the average value and the maximum value of FDL".
+func FDLMax(n, m2, t int) float64 {
+	if t < 1 {
+		panic("analysis: FDLMax needs T >= 1")
+	}
+	return float64(t) * float64(FWLMulti(n, m2))
+}
+
+// Bounds is a closed interval for the expected flooding delay limit.
+type Bounds struct {
+	Lower float64
+	Upper float64
+}
+
+// FDLTheorem2 returns the lower/upper bounds on E[FDL] for an ideal
+// network with arbitrary N (Theorem 2):
+//
+//	M <  m: [ T(m/2 + M - 1),  T(m + 3M/2 - 3/2) ]
+//	M >= m: [ T(m + M/2 - 1),  T(2m + M/2 - 1)   ]
+//
+// The lower bounds coincide with Theorem 1. Panics for invalid arguments.
+func FDLTheorem2(n, m2, t int) Bounds {
+	if t < 1 || n < 1 || m2 < 1 {
+		panic("analysis: FDLTheorem2 needs N, M, T >= 1")
+	}
+	m := float64(FWLFloor(n))
+	mf, tf := float64(m2), float64(t)
+	if m2 < int(m) {
+		return Bounds{
+			Lower: tf * (m/2 + mf - 1),
+			Upper: tf * (m + 1.5*mf - 1.5),
+		}
+	}
+	return Bounds{
+		Lower: tf * (m + mf/2 - 1),
+		Upper: tf * (2*m + mf/2 - 1),
+	}
+}
+
+// BlockingWindow returns ⌈log2(1+N)⌉ - 1, the number of immediately
+// preceding packets that can delay a given packet (Corollary 1). Beyond
+// this window the flooding of multiple packets pipelines.
+func BlockingWindow(n int) int {
+	return FWLFloor(n) - 1
+}
+
+// KneePoint returns the packet count M = m at which the Theorem 1 curve
+// changes slope (the knee visible in Fig. 5): below it each extra packet
+// costs a full T of delay; above it only T/2.
+func KneePoint(n int) int {
+	return FWLFloor(n)
+}

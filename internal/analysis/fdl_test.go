@@ -1,0 +1,275 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ldcflood/internal/rngutil"
+)
+
+func TestWaitingsSmallM(t *testing.T) {
+	// N=1024 → m=11. M=5 < m: Wp = m + p.
+	w := Waitings(1024, 5)
+	for p, got := range w {
+		if want := 11 + p; got != want {
+			t.Fatalf("W_%d = %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestWaitingsLargeM(t *testing.T) {
+	// N=1024 → m=11. M=20 >= m: Wp saturates at m+(m-1)=21.
+	w := Waitings(1024, 20)
+	for p, got := range w {
+		want := 11 + p
+		if want > 21 {
+			want = 21
+		}
+		if got != want {
+			t.Fatalf("W_%d = %d, want %d", p, got, want)
+		}
+	}
+	if w[19] != 21 {
+		t.Fatalf("last waiting = %d, want m+(m-1)=21 (Table I)", w[19])
+	}
+}
+
+func TestWaitingsPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { Waitings(0, 5) },
+		func() { Waitings(5, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFWLMulti(t *testing.T) {
+	// Proof of Theorem 1 (M < m): FWL = m + 2M - 2.
+	n, m2 := 1024, 5 // m = 11
+	if got, want := FWLMulti(n, m2), 11+2*5-2; got != want {
+		t.Fatalf("FWLMulti = %d, want %d", got, want)
+	}
+	// M >= m: FWL = (M-1) + m + (m-1) = 2m + M - 2.
+	if got, want := FWLMulti(1024, 20), 2*11+20-2; got != want {
+		t.Fatalf("FWLMulti = %d, want %d", got, want)
+	}
+}
+
+func TestFDLTheorem1Values(t *testing.T) {
+	// Hand-checked against Fig. 5: N=1024, T=5, M=20 → 5(11+10-1) = 100.
+	if got := FDLTheorem1(1024, 20, 5); got != 100 {
+		t.Fatalf("FDL(N=1024,M=20,T=5) = %v, want 100", got)
+	}
+	// N=4096 → m=13: 5(13+10-1) = 110.
+	if got := FDLTheorem1(4096, 20, 5); got != 110 {
+		t.Fatalf("FDL(N=4096,M=20,T=5) = %v, want 110", got)
+	}
+	// N=256 → m=9: 5(9+10-1) = 90.
+	if got := FDLTheorem1(256, 20, 5); got != 90 {
+		t.Fatalf("FDL(N=256,M=20,T=5) = %v, want 90", got)
+	}
+	// Right panel of Fig. 5: duty 10% → T=10: 10(11+10-1) = 200.
+	if got := FDLTheorem1(1024, 20, 10); got != 200 {
+		t.Fatalf("FDL(N=1024,M=20,T=10) = %v, want 200", got)
+	}
+	// Small-M branch: N=1024, M=5 < 11, T=5 → 5(5.5+4) = 47.5.
+	if got := FDLTheorem1(1024, 5, 5); got != 47.5 {
+		t.Fatalf("FDL(N=1024,M=5,T=5) = %v, want 47.5", got)
+	}
+}
+
+func TestFDLTheorem1Knee(t *testing.T) {
+	// Slope is T per extra packet before the knee, T/2 after (Fig. 5).
+	n, T := 1024, 5
+	m := KneePoint(n)
+	before := FDLTheorem1(n, m-2, T) - FDLTheorem1(n, m-3, T)
+	after := FDLTheorem1(n, m+3, T) - FDLTheorem1(n, m+2, T)
+	if before != float64(T) {
+		t.Fatalf("pre-knee slope = %v, want %v", before, float64(T))
+	}
+	if after != float64(T)/2 {
+		t.Fatalf("post-knee slope = %v, want %v", after, float64(T)/2)
+	}
+}
+
+func TestFDLContinuousAtKnee(t *testing.T) {
+	// The two branches of Theorem 1 agree at M = m.
+	for _, n := range []int{256, 1024, 4096, 300} {
+		m := KneePoint(n)
+		small := float64(5) * (float64(m)/2 + float64(m) - 1) // M=m with branch-1 formula
+		large := FDLTheorem1(n, m, 5)
+		if math.Abs(small-large) > 1e-9 {
+			t.Fatalf("N=%d: knee discontinuity %v vs %v", n, small, large)
+		}
+	}
+}
+
+func TestFDLMax(t *testing.T) {
+	// FDLMax = T * FWL >= E[FDL]; ratio approaches 2 for large M.
+	n, T := 1024, 5
+	for _, m2 := range []int{1, 5, 11, 50, 200} {
+		maxV := FDLMax(n, m2, T)
+		avg := FDLTheorem1(n, m2, T)
+		if maxV < avg {
+			t.Fatalf("M=%d: max %v < mean %v", m2, maxV, avg)
+		}
+		if maxV > 2.2*avg+float64(3*T) {
+			t.Fatalf("M=%d: max %v too far above mean %v", m2, maxV, avg)
+		}
+	}
+}
+
+func TestFDLTheorem2Bounds(t *testing.T) {
+	for _, n := range []int{256, 1024, 300} {
+		for m2 := 1; m2 <= 25; m2++ {
+			b := FDLTheorem2(n, m2, 5)
+			t1 := FDLTheorem1(n, m2, 5)
+			if b.Lower != t1 {
+				t.Fatalf("N=%d M=%d: lower bound %v != Theorem 1 %v", n, m2, b.Lower, t1)
+			}
+			if b.Upper < b.Lower {
+				t.Fatalf("N=%d M=%d: inverted bounds %+v", n, m2, b)
+			}
+		}
+	}
+}
+
+func TestFDLTheorem2UpperFormulas(t *testing.T) {
+	// N=256 (m=9), M=4 < m: upper = 5(9 + 6 - 1.5) = 67.5.
+	if got := FDLTheorem2(256, 4, 5).Upper; got != 67.5 {
+		t.Fatalf("upper = %v, want 67.5", got)
+	}
+	// N=256, M=20 >= m: upper = 5(18 + 10 - 1) = 135.
+	if got := FDLTheorem2(256, 20, 5).Upper; got != 135 {
+		t.Fatalf("upper = %v, want 135", got)
+	}
+}
+
+func TestTheoremPanics(t *testing.T) {
+	cases := []func(){
+		func() { FDLTheorem1(0, 1, 1) },
+		func() { FDLTheorem1(1, 0, 1) },
+		func() { FDLTheorem1(1, 1, 0) },
+		func() { FDLTheorem2(0, 1, 1) },
+		func() { FDLMax(1, 1, 0) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestWaitingDistribution(t *testing.T) {
+	d := WaitingDistribution(5)
+	if len(d) != 5 {
+		t.Fatalf("len = %d", len(d))
+	}
+	sum := 0.0
+	for _, p := range d {
+		if p != 0.2 {
+			t.Fatalf("non-uniform entry %v", p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("sum = %v", sum)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("T=0 did not panic")
+		}
+	}()
+	WaitingDistribution(0)
+}
+
+func TestFDLVariance(t *testing.T) {
+	// T=1 (always on): deterministic, zero variance.
+	if v := FDLVariance(1024, 10, 1); v != 0 {
+		t.Fatalf("T=1 variance = %v", v)
+	}
+	// Variance grows with T and with FWL (through M).
+	v5 := FDLVariance(1024, 10, 5)
+	v10 := FDLVariance(1024, 10, 10)
+	if v10 <= v5 {
+		t.Fatal("variance not growing in T")
+	}
+	if FDLVariance(1024, 30, 5) <= v5 {
+		t.Fatal("variance not growing in M")
+	}
+	// Exact: FWL × (T²-1)/12.
+	want := float64(FWLMulti(1024, 10)) * 24.0 / 12.0
+	if v5 != want {
+		t.Fatalf("variance = %v, want %v", v5, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad args did not panic")
+		}
+	}()
+	FDLVariance(0, 1, 1)
+}
+
+func TestBlockingWindow(t *testing.T) {
+	if got := BlockingWindow(1024); got != 10 {
+		t.Fatalf("BlockingWindow(1024) = %d, want 10", got)
+	}
+	if got := BlockingWindow(1); got != 0 {
+		t.Fatalf("BlockingWindow(1) = %d, want 0", got)
+	}
+}
+
+// Property: E[FDL] is non-decreasing in each of N, M, T, and scales
+// linearly with T.
+func TestQuickFDLMonotoneAndLinearInT(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rngutil.New(seed)
+		n := 1 + r.Intn(10000)
+		m2 := 1 + r.Intn(60)
+		T := 1 + r.Intn(60)
+		base := FDLTheorem1(n, m2, T)
+		if FDLTheorem1(n+1+r.Intn(1000), m2, T) < base {
+			return false
+		}
+		if FDLTheorem1(n, m2+1, T) < base {
+			return false
+		}
+		if FDLTheorem1(n, m2, T+1) < base {
+			return false
+		}
+		// Linearity in T: FDL(2T) = 2·FDL(T).
+		return math.Abs(FDLTheorem1(n, m2, 2*T)-2*base) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Theorem 2 brackets Theorem 1 for all valid inputs.
+func TestQuickTheorem2Brackets(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rngutil.New(seed)
+		n := 1 + r.Intn(100000)
+		m2 := 1 + r.Intn(100)
+		T := 1 + r.Intn(100)
+		b := FDLTheorem2(n, m2, T)
+		v := FDLTheorem1(n, m2, T)
+		return b.Lower <= v && v <= b.Upper
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,152 @@
+// Package analysis implements the paper's theory: the Galton-Watson view of
+// single-packet flooding (Lemma 1 and 2), the flooding-delay-limit formulas
+// for multi-packet flooding (Theorem 1, Theorem 2, Table I, Corollary 1),
+// the expired-time rule used by Algorithm 1, and the k-class link-loss
+// growth analysis of Section IV-B whose characteristic root yields the
+// "Predicted Lower Bound" of Fig. 7 and Fig. 10.
+//
+// Everything in this package is pure math over the model of Section III —
+// no simulator dependencies — so the simulation packages can be validated
+// against it.
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"ldcflood/internal/rngutil"
+)
+
+// GaltonWatson models the per-compact-slot growth of the set of nodes
+// holding a packet: each holder "reproduces" itself and, with probability
+// SuccessProb (the link success rate), infects one new node. The offspring
+// count is therefore 1 + Bernoulli(SuccessProb), giving mean
+// μ = 1 + SuccessProb ∈ (1, 2] exactly as required below Eq. (3).
+type GaltonWatson struct {
+	// SuccessProb is the per-slot probability that a holder's transmission
+	// succeeds; 1 corresponds to the paper's ideal network (μ = 2).
+	SuccessProb float64
+}
+
+// NewGaltonWatson validates and constructs the process. SuccessProb must be
+// in (0, 1].
+func NewGaltonWatson(successProb float64) (GaltonWatson, error) {
+	if successProb <= 0 || successProb > 1 || math.IsNaN(successProb) {
+		return GaltonWatson{}, fmt.Errorf("analysis: success probability %v outside (0,1]", successProb)
+	}
+	return GaltonWatson{SuccessProb: successProb}, nil
+}
+
+// Mu returns μ = E[offspring] = 1 + SuccessProb.
+func (gw GaltonWatson) Mu() float64 { return 1 + gw.SuccessProb }
+
+// OffspringVariance returns σ² = Var[offspring] = p(1-p).
+func (gw GaltonWatson) OffspringVariance() float64 {
+	p := gw.SuccessProb
+	return p * (1 - p)
+}
+
+// LimitVariance returns Var[X] = σ²/(μ²-μ) for the almost-sure limit X of
+// X(c)/μ^c (Lemma 1). E[X] = 1 always.
+func (gw GaltonWatson) LimitVariance() float64 {
+	mu := gw.Mu()
+	return gw.OffspringVariance() / (mu*mu - mu)
+}
+
+// ChebyshevTail returns the paper's Chebyshev bound
+// Pr{X > α·E[X]} < σ²/((α-1)²(μ²-μ)) for α > 1; it panics for α <= 1.
+func (gw GaltonWatson) ChebyshevTail(alpha float64) float64 {
+	if alpha <= 1 {
+		panic("analysis: ChebyshevTail needs alpha > 1")
+	}
+	return gw.LimitVariance() / ((alpha - 1) * (alpha - 1))
+}
+
+// SamplePath simulates generations of the process starting from one holder
+// and returns the population sizes X(0)=1, X(1), ..., X(generations).
+// Population growth is capped at cap to bound memory (use cap <= 0 for the
+// uncapped process — beware exponential growth).
+func (gw GaltonWatson) SamplePath(generations int, cap int, rng *rngutil.Stream) []int {
+	if generations < 0 {
+		panic("analysis: negative generations")
+	}
+	path := make([]int, generations+1)
+	pop := 1
+	path[0] = pop
+	for g := 1; g <= generations; g++ {
+		next := pop
+		for i := 0; i < pop; i++ {
+			if rng.Bool(gw.SuccessProb) {
+				next++
+			}
+		}
+		if cap > 0 && next > cap {
+			next = cap
+		}
+		pop = next
+		path[g] = pop
+	}
+	return path
+}
+
+// GenerationsToReach simulates the process until the population reaches
+// target and returns the number of generations taken (the simulated FWL of
+// a single packet flooded to target-1 other nodes). maxGenerations bounds
+// the simulation; ok is false if the target was not reached in time.
+func (gw GaltonWatson) GenerationsToReach(target, maxGenerations int, rng *rngutil.Stream) (gens int, ok bool) {
+	if target <= 1 {
+		return 0, true
+	}
+	pop := 1
+	for g := 1; g <= maxGenerations; g++ {
+		next := pop
+		for i := 0; i < pop && next < target; i++ {
+			if rng.Bool(gw.SuccessProb) {
+				next++
+			}
+		}
+		pop = next
+		if pop >= target {
+			return g, true
+		}
+	}
+	return maxGenerations, false
+}
+
+// Lemma2FWL returns E[FWL] = ⌈log2(1+N) / log2(μ)⌉ (Lemma 2): the expected
+// number of compact-time waitings for one packet to cover a network of N
+// sensors when the per-slot growth factor is μ. It panics for N < 1 or
+// μ <= 1 (subcritical processes never cover the network).
+func Lemma2FWL(n int, mu float64) int {
+	if n < 1 {
+		panic("analysis: Lemma2FWL needs N >= 1")
+	}
+	if mu <= 1 || math.IsNaN(mu) {
+		panic("analysis: Lemma2FWL needs mu > 1")
+	}
+	return int(math.Ceil(math.Log2(float64(1+n)) / math.Log2(mu)))
+}
+
+// FWLFloor returns the with-high-probability floor ⌈log2(1+N)⌉ of Eq. (6):
+// no flooding strategy finishes a packet in fewer compact waitings.
+func FWLFloor(n int) int {
+	if n < 1 {
+		panic("analysis: FWLFloor needs N >= 1")
+	}
+	return int(math.Ceil(math.Log2(float64(1 + n))))
+}
+
+// M returns m = ⌈log2(1+N)⌉, the quantity the paper calls m throughout
+// Section IV; identical to FWLFloor and provided under the paper's name.
+func M(n int) int { return FWLFloor(n) }
+
+// ExpiredTime returns the compact-time slot at which packet p expires under
+// Algorithm 1's rule: Kp + ⌈log2(N+1)⌉ with Kp = p packets injected before
+// p. After this time the packet has reached the whole network (under the
+// theorem's assumptions) and must not be forwarded again.
+func ExpiredTime(p, n int) int {
+	if p < 0 {
+		panic("analysis: negative packet index")
+	}
+	return p + FWLFloor(n)
+}

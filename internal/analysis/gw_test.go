@@ -1,0 +1,249 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ldcflood/internal/rngutil"
+	"ldcflood/internal/stats"
+)
+
+func TestNewGaltonWatson(t *testing.T) {
+	if _, err := NewGaltonWatson(0.5); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{0, -0.1, 1.1, math.NaN()} {
+		if _, err := NewGaltonWatson(p); err == nil {
+			t.Fatalf("accepted p=%v", p)
+		}
+	}
+}
+
+func TestMuAndVariance(t *testing.T) {
+	gw := GaltonWatson{SuccessProb: 1}
+	if gw.Mu() != 2 {
+		t.Fatalf("ideal Mu = %v, want 2", gw.Mu())
+	}
+	if gw.OffspringVariance() != 0 {
+		t.Fatalf("ideal offspring variance = %v, want 0", gw.OffspringVariance())
+	}
+	if gw.LimitVariance() != 0 {
+		t.Fatalf("ideal limit variance = %v, want 0", gw.LimitVariance())
+	}
+	gw = GaltonWatson{SuccessProb: 0.5}
+	if gw.Mu() != 1.5 {
+		t.Fatalf("Mu = %v", gw.Mu())
+	}
+	if got := gw.OffspringVariance(); got != 0.25 {
+		t.Fatalf("offspring variance = %v", got)
+	}
+	// σ²/(μ²-μ) = 0.25 / (2.25-1.5) = 1/3
+	if got := gw.LimitVariance(); math.Abs(got-1.0/3.0) > 1e-12 {
+		t.Fatalf("limit variance = %v", got)
+	}
+}
+
+func TestChebyshevTail(t *testing.T) {
+	gw := GaltonWatson{SuccessProb: 0.5}
+	// bound = (1/3) / (α-1)²
+	if got := gw.ChebyshevTail(2); math.Abs(got-1.0/3.0) > 1e-12 {
+		t.Fatalf("tail(2) = %v", got)
+	}
+	if gw.ChebyshevTail(3) >= gw.ChebyshevTail(2) {
+		t.Fatal("tail bound should shrink with alpha")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("alpha<=1 did not panic")
+		}
+	}()
+	gw.ChebyshevTail(1)
+}
+
+func TestSamplePathIdeal(t *testing.T) {
+	gw := GaltonWatson{SuccessProb: 1}
+	path := gw.SamplePath(10, 0, rngutil.New(1))
+	for g, pop := range path {
+		if pop != 1<<g {
+			t.Fatalf("ideal path gen %d = %d, want %d", g, pop, 1<<g)
+		}
+	}
+}
+
+func TestSamplePathCap(t *testing.T) {
+	gw := GaltonWatson{SuccessProb: 1}
+	path := gw.SamplePath(20, 100, rngutil.New(1))
+	for _, pop := range path {
+		if pop > 100 {
+			t.Fatalf("cap violated: %d", pop)
+		}
+	}
+	if path[len(path)-1] != 100 {
+		t.Fatal("capped path should saturate at cap")
+	}
+}
+
+func TestSamplePathMonotone(t *testing.T) {
+	gw := GaltonWatson{SuccessProb: 0.3}
+	path := gw.SamplePath(30, 0, rngutil.New(5))
+	for g := 1; g < len(path); g++ {
+		if path[g] < path[g-1] {
+			t.Fatal("population shrank — offspring must include the parent")
+		}
+	}
+}
+
+// Lemma 1: X(c)/μ^c converges to a limit with mean 1.
+func TestLemma1LimitMean(t *testing.T) {
+	gw := GaltonWatson{SuccessProb: 0.6}
+	mu := gw.Mu()
+	const gens = 18
+	var acc stats.Running
+	rng := rngutil.New(7)
+	for trial := 0; trial < 400; trial++ {
+		path := gw.SamplePath(gens, 0, rng.Sub(uint64(trial)))
+		acc.Add(float64(path[gens]) / math.Pow(mu, gens))
+	}
+	if math.Abs(acc.Mean()-1) > 0.05 {
+		t.Fatalf("E[X(c)/mu^c] = %v, want ~1 (Lemma 1)", acc.Mean())
+	}
+}
+
+// Lemma 1: Var[X] ≈ σ²/(μ²-μ).
+func TestLemma1LimitVariance(t *testing.T) {
+	gw := GaltonWatson{SuccessProb: 0.5}
+	mu := gw.Mu()
+	const gens = 22
+	var acc stats.Running
+	rng := rngutil.New(11)
+	for trial := 0; trial < 3000; trial++ {
+		path := gw.SamplePath(gens, 0, rng.Sub(uint64(trial)))
+		acc.Add(float64(path[gens]) / math.Pow(mu, gens))
+	}
+	want := gw.LimitVariance()
+	if math.Abs(acc.Variance()-want) > 0.1*want+0.02 {
+		t.Fatalf("Var[X] = %v, want ~%v (Lemma 1)", acc.Variance(), want)
+	}
+}
+
+func TestGenerationsToReach(t *testing.T) {
+	gw := GaltonWatson{SuccessProb: 1}
+	gens, ok := gw.GenerationsToReach(1024, 100, rngutil.New(1))
+	if !ok || gens != 10 {
+		t.Fatalf("ideal process to 1024 took %d gens (ok=%v), want 10", gens, ok)
+	}
+	if g, ok := gw.GenerationsToReach(1, 100, rngutil.New(1)); !ok || g != 0 {
+		t.Fatalf("target 1 should need 0 generations, got %d", g)
+	}
+	// Impossible within budget.
+	_, ok = GaltonWatson{SuccessProb: 0.01}.GenerationsToReach(1<<30, 3, rngutil.New(1))
+	if ok {
+		t.Fatal("unreachable target reported ok")
+	}
+}
+
+// Lemma 2: simulated FWL concentrates near ⌈log2(1+N)/log2(μ)⌉.
+func TestLemma2MatchesSimulation(t *testing.T) {
+	for _, p := range []float64{1, 0.8, 0.5} {
+		gw := GaltonWatson{SuccessProb: p}
+		n := 1023
+		want := Lemma2FWL(n, gw.Mu())
+		var acc stats.Running
+		rng := rngutil.New(13)
+		for trial := 0; trial < 300; trial++ {
+			gens, ok := gw.GenerationsToReach(n+1, 1000, rng.Sub(uint64(trial)))
+			if !ok {
+				t.Fatalf("p=%v: simulation did not finish", p)
+			}
+			acc.Add(float64(gens))
+		}
+		if math.Abs(acc.Mean()-float64(want)) > 2.5 {
+			t.Fatalf("p=%v: simulated FWL %.2f vs Lemma 2 %d", p, acc.Mean(), want)
+		}
+	}
+}
+
+func TestLemma2FWLValues(t *testing.T) {
+	// Ideal links: μ=2, so FWL = ⌈log2(1+N)⌉.
+	cases := []struct{ n, want int }{
+		{1, 1}, {3, 2}, {7, 3}, {255, 8}, {256, 9}, {1023, 10}, {1024, 11},
+	}
+	for _, c := range cases {
+		if got := Lemma2FWL(c.n, 2); got != c.want {
+			t.Fatalf("Lemma2FWL(%d, 2) = %d, want %d", c.n, got, c.want)
+		}
+		if got := FWLFloor(c.n); got != c.want {
+			t.Fatalf("FWLFloor(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+	// Lossier links need more waitings.
+	if Lemma2FWL(1023, 1.5) <= Lemma2FWL(1023, 2) {
+		t.Fatal("FWL should grow as mu shrinks")
+	}
+}
+
+func TestLemma2Panics(t *testing.T) {
+	cases := []func(){
+		func() { Lemma2FWL(0, 2) },
+		func() { Lemma2FWL(10, 1) },
+		func() { Lemma2FWL(10, 0.5) },
+		func() { FWLFloor(0) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestExpiredTime(t *testing.T) {
+	// Packet p injected at compact slot p expires m slots later.
+	n := 1024 // m = 11
+	if got := ExpiredTime(0, n); got != 11 {
+		t.Fatalf("ExpiredTime(0) = %d", got)
+	}
+	if got := ExpiredTime(5, n); got != 16 {
+		t.Fatalf("ExpiredTime(5) = %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative packet index did not panic")
+		}
+	}()
+	ExpiredTime(-1, n)
+}
+
+// Property: Lemma2FWL is non-increasing in mu and non-decreasing in N.
+func TestQuickLemma2Monotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rngutil.New(seed)
+		n := 1 + r.Intn(100000)
+		mu1 := 1.01 + 0.98*r.Float64()
+		mu2 := 1.01 + 0.98*r.Float64()
+		if mu1 > mu2 {
+			mu1, mu2 = mu2, mu1
+		}
+		if Lemma2FWL(n, mu1) < Lemma2FWL(n, mu2) {
+			return false
+		}
+		return Lemma2FWL(n+1+r.Intn(1000), mu1) >= Lemma2FWL(n, mu1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSamplePath(b *testing.B) {
+	gw := GaltonWatson{SuccessProb: 0.7}
+	rng := rngutil.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = gw.SamplePath(15, 1<<16, rng)
+	}
+}

@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+)
+
+// KClass converts a link quality (packet reception ratio) to the paper's
+// k-class value: the expected number of transmissions needed for success,
+// k = 1/quality. The paper's Fig. 7 legend uses exactly this mapping
+// (80% → 1.25, 70% → ~1.42, 60% → ~1.67, 50% → 2). It panics for a quality
+// outside (0, 1].
+func KClass(quality float64) float64 {
+	if quality <= 0 || quality > 1 || math.IsNaN(quality) {
+		panic(fmt.Sprintf("analysis: link quality %v outside (0,1]", quality))
+	}
+	return 1 / quality
+}
+
+// CharacteristicRoot returns the largest real root λ > 1 of the
+// characteristic equation of the k-class evolution recurrence Eq. (7)/(8):
+//
+//	λ^(kT+1) = λ^(kT) + 1
+//
+// where x = k·T (not necessarily an integer). The left-minus-right function
+// g(λ) = λ^(x+1) - λ^x - 1 satisfies g(1) = -1 and is strictly increasing
+// for λ >= 1, so a bisection on (1, 2] converges to the unique root. The
+// root is the per-original-slot growth factor of the covered-node count.
+// It panics for kT <= 0.
+func CharacteristicRoot(kT float64) float64 {
+	if kT <= 0 || math.IsNaN(kT) {
+		panic(fmt.Sprintf("analysis: kT = %v must be positive", kT))
+	}
+	g := func(l float64) float64 {
+		return math.Pow(l, kT)*(l-1) - 1
+	}
+	lo, hi := 1.0, 2.0
+	// g(2) = 2^kT - 1 > 0 for kT > 0, so the root is bracketed.
+	for i := 0; i < 200 && hi-lo > 1e-13; i++ {
+		mid := (lo + hi) / 2
+		if g(mid) > 0 {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// PredictedDelay returns the Section IV-B prediction of the flooding delay
+// in original time slots for one packet to reach a fraction coverage of the
+// 1+N nodes: the covered count grows like λ^t, so
+//
+//	delay = log(coverage · (1+N)) / log(λ),   λ = CharacteristicRoot(k·T).
+//
+// This is the curve of Fig. 7 and the "Predicted Lower Bound" of Fig. 10.
+// It panics for invalid arguments.
+func PredictedDelay(n int, coverage, k float64, t int) float64 {
+	if n < 1 {
+		panic("analysis: PredictedDelay needs N >= 1")
+	}
+	if coverage <= 0 || coverage > 1 {
+		panic(fmt.Sprintf("analysis: coverage %v outside (0,1]", coverage))
+	}
+	if k < 1 {
+		panic(fmt.Sprintf("analysis: k = %v must be >= 1", k))
+	}
+	if t < 1 {
+		panic("analysis: PredictedDelay needs T >= 1")
+	}
+	lambda := CharacteristicRoot(k * float64(t))
+	target := coverage * float64(1+n)
+	if target < 2 {
+		return 0
+	}
+	return math.Log(target) / math.Log(lambda)
+}
+
+// EvolutionUpperBound iterates the exact pre-asymptotic inequality of
+// Section IV-B,
+//
+//	X(t+1) <= X(t) + min{ X(max(0, t-kT)), (1+N) - X(max(0, t-kT)) },
+//
+// from X(0) = 1 and returns the first original-time slot at which the
+// bound reaches coverage·(1+N), i.e. the optimistic (upper-bound-evolution)
+// completion time. slotsMax caps the iteration; ok is false if coverage was
+// not reached within the cap.
+func EvolutionUpperBound(n int, coverage, k float64, t int, slotsMax int) (slot int, ok bool) {
+	if n < 1 || coverage <= 0 || coverage > 1 || k < 1 || t < 1 {
+		panic("analysis: EvolutionUpperBound invalid arguments")
+	}
+	total := float64(1 + n)
+	target := coverage * total
+	lag := int(math.Ceil(k * float64(t)))
+	hist := []float64{1} // hist[t] = X(t)
+	if hist[0] >= target {
+		return 0, true
+	}
+	for tt := 0; tt < slotsMax; tt++ {
+		idx := tt - lag
+		if idx < 0 {
+			idx = 0
+		}
+		past := hist[idx]
+		grow := past
+		if rem := total - past; rem < grow {
+			grow = rem
+		}
+		next := hist[tt] + grow
+		if next > total {
+			next = total
+		}
+		hist = append(hist, next)
+		if next >= target {
+			return tt + 1, true
+		}
+	}
+	return slotsMax, false
+}
+
+// BlockingBreaksDown reports whether, per the Section IV-B discussion, the
+// "limited blocking" conclusion fails for the given parameters: the
+// per-packet flooding time T·log_λ(...) exceeds the source's packet
+// injection interval so packets pile up without bound. interval is the
+// number of original slots between consecutive packet injections at the
+// source (1 = back-to-back, the experiments' default).
+func BlockingBreaksDown(n int, k float64, t int, interval int) bool {
+	if interval < 1 {
+		panic("analysis: injection interval must be >= 1")
+	}
+	// Sustained throughput of the pipeline is one packet per Θ(T) slots in
+	// the ideal case (Theorem 1: slope T/2..T per packet). With loss, each
+	// packet needs k transmissions per hop, so the steady-state spacing
+	// grows to ~k·T/2. When that exceeds the injection interval the queue
+	// grows without bound.
+	return k*float64(t)/2 > float64(interval)
+}

@@ -1,0 +1,231 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ldcflood/internal/rngutil"
+)
+
+func TestKClass(t *testing.T) {
+	cases := []struct{ q, want float64 }{
+		{1, 1}, {0.8, 1.25}, {0.5, 2}, {0.25, 4},
+	}
+	for _, c := range cases {
+		if got := KClass(c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("KClass(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	for _, q := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("KClass(%v) did not panic", q)
+				}
+			}()
+			KClass(q)
+		}()
+	}
+}
+
+func TestCharacteristicRootSatisfiesEquation(t *testing.T) {
+	for _, kT := range []float64{1, 2.5, 5, 10, 28.4, 40, 100} {
+		l := CharacteristicRoot(kT)
+		if l <= 1 || l > 2 {
+			t.Fatalf("kT=%v: root %v outside (1,2]", kT, l)
+		}
+		resid := math.Pow(l, kT)*(l-1) - 1
+		if math.Abs(resid) > 1e-6 {
+			t.Fatalf("kT=%v: residual %v at root %v", kT, resid, l)
+		}
+	}
+}
+
+func TestCharacteristicRootKnownValues(t *testing.T) {
+	// kT=1: λ² = λ + 1 → golden ratio.
+	phi := (1 + math.Sqrt(5)) / 2
+	if got := CharacteristicRoot(1); math.Abs(got-phi) > 1e-9 {
+		t.Fatalf("root(1) = %v, want golden ratio %v", got, phi)
+	}
+	// kT→large: root → 1 from above.
+	if r := CharacteristicRoot(1000); r > 1.01 {
+		t.Fatalf("root(1000) = %v, want ~1", r)
+	}
+}
+
+func TestCharacteristicRootMonotone(t *testing.T) {
+	prev := 3.0
+	for _, kT := range []float64{1, 2, 5, 10, 20, 50, 100} {
+		r := CharacteristicRoot(kT)
+		if r >= prev {
+			t.Fatalf("root not decreasing in kT at %v: %v >= %v", kT, r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestCharacteristicRootPanics(t *testing.T) {
+	for _, kT := range []float64{0, -1, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("kT=%v did not panic", kT)
+				}
+			}()
+			CharacteristicRoot(kT)
+		}()
+	}
+}
+
+func TestPredictedDelayShape(t *testing.T) {
+	// Fig. 7's qualitative content: delay grows as duty cycle shrinks
+	// (T grows) and as link quality drops (k grows).
+	n := 298
+	dutyToT := func(d float64) int { return int(1/d + 0.5) }
+	for _, k := range []float64{1.25, 1.42, 1.67, 2.0} {
+		prev := 0.0
+		for _, duty := range []float64{0.20, 0.10, 0.05, 0.02} {
+			d := PredictedDelay(n, 0.99, k, dutyToT(duty))
+			if d <= prev {
+				t.Fatalf("k=%v: delay not increasing as duty shrinks (%v then %v)", k, prev, d)
+			}
+			prev = d
+		}
+	}
+	for _, duty := range []float64{0.20, 0.05, 0.02} {
+		T := dutyToT(duty)
+		prev := 0.0
+		for _, k := range []float64{1.25, 1.42, 1.67, 2.0} {
+			d := PredictedDelay(n, 0.99, k, T)
+			if d <= prev {
+				t.Fatalf("duty=%v: delay not increasing in k", duty)
+			}
+			prev = d
+		}
+	}
+}
+
+func TestPredictedDelayMagnitude(t *testing.T) {
+	// Fig. 7's y-range is ~10..120 slots for N≈300-scale networks over
+	// duty 2%..20%, k in [1.25, 2].
+	n := 298
+	lo := PredictedDelay(n, 0.99, 1.25, 5) // best case plotted
+	hi := PredictedDelay(n, 0.99, 2.0, 50) // worst case plotted
+	if lo < 5 || lo > 40 {
+		t.Fatalf("best-case predicted delay %v outside Fig. 7's plausible band", lo)
+	}
+	if hi < 60 || hi > 250 {
+		t.Fatalf("worst-case predicted delay %v outside Fig. 7's plausible band", hi)
+	}
+	if hi < 2*lo {
+		t.Fatalf("loss amplification too weak: %v vs %v", hi, lo)
+	}
+}
+
+func TestPredictedDelayEdge(t *testing.T) {
+	// Tiny coverage target needs no waiting.
+	if got := PredictedDelay(100, 0.01, 1.5, 10); got != 0 {
+		t.Fatalf("trivial coverage delay = %v, want 0", got)
+	}
+}
+
+func TestPredictedDelayPanics(t *testing.T) {
+	cases := []func(){
+		func() { PredictedDelay(0, 0.99, 1.5, 10) },
+		func() { PredictedDelay(10, 0, 1.5, 10) },
+		func() { PredictedDelay(10, 1.1, 1.5, 10) },
+		func() { PredictedDelay(10, 0.99, 0.5, 10) },
+		func() { PredictedDelay(10, 0.99, 1.5, 0) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestEvolutionUpperBound(t *testing.T) {
+	// k=1, T=1 gives the Fibonacci recurrence X(t+1) = X(t) + X(t-1),
+	// whose growth rate is the golden ratio; covering 1+N=1024 nodes takes
+	// ⌈log_φ(1024)⌉ = 15 slots.
+	slot, ok := EvolutionUpperBound(1023, 1, 1, 1, 10000)
+	if !ok || slot != 15 {
+		t.Fatalf("fibonacci evolution = %d (ok=%v), want 15", slot, ok)
+	}
+	// Larger kT delays coverage.
+	s2, ok := EvolutionUpperBound(1023, 1, 2, 10, 100000)
+	if !ok || s2 <= slot {
+		t.Fatalf("lossy evolution %d should exceed ideal %d", s2, slot)
+	}
+	// Cap exhaustion reports !ok.
+	if _, ok := EvolutionUpperBound(1<<20, 1, 2, 50, 10); ok {
+		t.Fatal("tiny cap should not reach coverage")
+	}
+}
+
+func TestEvolutionMatchesRootAsymptotically(t *testing.T) {
+	// The discrete evolution's completion time should be close to the
+	// root-based prediction for large networks.
+	n := 1 << 16
+	k, T := 1.5, 10
+	slot, ok := EvolutionUpperBound(n, 0.99, k, T, 1000000)
+	if !ok {
+		t.Fatal("evolution did not finish")
+	}
+	pred := PredictedDelay(n, 0.99, k, T)
+	ratio := float64(slot) / pred
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Fatalf("evolution %d vs prediction %.1f (ratio %.2f) diverge", slot, pred, ratio)
+	}
+}
+
+func TestBlockingBreaksDown(t *testing.T) {
+	// Ideal tight network: no breakdown at back-to-back injection only if
+	// k·T/2 <= 1.
+	if BlockingBreaksDown(1024, 1, 2, 1) {
+		t.Fatal("k=1, T=2 should not break down")
+	}
+	if !BlockingBreaksDown(1024, 2, 20, 1) {
+		t.Fatal("k=2, T=20 at interval 1 must break down (Section IV-B)")
+	}
+	// Slowing the source restores stability.
+	if BlockingBreaksDown(1024, 2, 20, 30) {
+		t.Fatal("interval 30 should absorb k·T/2 = 20")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("interval 0 did not panic")
+		}
+	}()
+	BlockingBreaksDown(1, 1, 1, 0)
+}
+
+// Property: the characteristic root always satisfies its equation and lies
+// in (1, 2].
+func TestQuickRootValid(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rngutil.New(seed)
+		kT := 0.1 + 100*r.Float64()
+		l := CharacteristicRoot(kT)
+		if l <= 1 || l > 2 {
+			return false
+		}
+		return math.Abs(math.Pow(l, kT)*(l-1)-1) < 1e-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCharacteristicRoot(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = CharacteristicRoot(28.4)
+	}
+}

@@ -1,0 +1,281 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"ldcflood/internal/analysis"
+	"ldcflood/internal/matrixflood"
+	"ldcflood/internal/rngutil"
+)
+
+// Fig3 reproduces the worked example of Algorithm 1 (Fig. 3 of the paper):
+// N=4 sensors, M=2 packets, rendering the possession matrix X at the
+// beginning of every compact slot.
+func Fig3() (*FigureData, error) {
+	tr, err := matrixflood.RunTrace(matrixflood.Config{N: 4, M: 2})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig3: %w", err)
+	}
+	fd := &FigureData{
+		ID:           "fig3",
+		Title:        "Algorithm 1 example (N=4, M=2): possession matrices per compact slot",
+		TableHeaders: []string{"c", "node", "pkt0", "pkt1"},
+	}
+	for c, snap := range tr.Slots {
+		for node := 0; node <= 4; node++ {
+			row := []string{fmt.Sprintf("%d", c), fmt.Sprintf("%d", node)}
+			for p := 0; p < 2; p++ {
+				if snap[p][node] {
+					row = append(row, "1")
+				} else {
+					row = append(row, "0")
+				}
+			}
+			fd.TableRows = append(fd.TableRows, row)
+		}
+	}
+	fd.Notes = append(fd.Notes,
+		fmt.Sprintf("packet completions at compact slots %v (Table I bounds: K_p + W_p = %v)",
+			tr.Result.CompletionSlot, []int{0 + 3, 1 + 4}),
+	)
+	return fd, nil
+}
+
+// TableI reproduces Table I: the per-packet waitings Wp under Algorithm 1
+// for both regimes (M < m and M >= m), and cross-checks them against the
+// matrix-flooding simulation on a power-of-two network.
+func TableI() (*FigureData, error) {
+	fd := &FigureData{
+		ID:           "table1",
+		Title:        "Table I: waitings of packets in the network (N=1024, m=11)",
+		TableHeaders: []string{"p", "Wp (M=5 < m)", "Wp (M=20 >= m)", "simulated Wp (M=20)"},
+	}
+	n := 1024
+	small := analysis.Waitings(n, 5)
+	large := analysis.Waitings(n, 20)
+	simRes, err := matrixflood.Run(matrixflood.Config{N: n, M: 20})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: table1: %w", err)
+	}
+	for p := 0; p < 20; p++ {
+		sm := "-"
+		if p < len(small) {
+			sm = fmt.Sprintf("%d", small[p])
+		}
+		fd.TableRows = append(fd.TableRows, []string{
+			fmt.Sprintf("%d", p),
+			sm,
+			fmt.Sprintf("%d", large[p]),
+			fmt.Sprintf("%d", simRes.Waitings[p]),
+		})
+	}
+	fd.Notes = append(fd.Notes,
+		"analytic Wp are the Table I upper bounds; simulated waitings must not exceed them",
+	)
+	return fd, nil
+}
+
+// HalfDuplex quantifies the Section IV-A2 modification: in half-duplex
+// networks every "type-2" compact slot (one where some node both transmits
+// and receives) must be split in two. The experiment runs Algorithm 1
+// across M and reports the full-duplex compact duration, the type-2 slot
+// count, and the half-duplex duration after the split — showing the
+// modification costs well under 2x because type-2 slots are a bounded
+// fraction of the schedule.
+func HalfDuplex() (*FigureData, error) {
+	fd := &FigureData{
+		ID:     "halfduplex",
+		Title:  "Half-duplex modification (Section IV-A2): compact-slot cost of splitting type-2 slots (N=256)",
+		XLabel: "total number of packets flooded (M)",
+		YLabel: "compact slots",
+	}
+	n := 256
+	var xs, full, half []float64
+	fd.TableHeaders = []string{"M", "full-duplex slots", "type-2 slots", "half-duplex slots", "overhead"}
+	for m := 1; m <= 20; m++ {
+		res, err := matrixflood.Run(matrixflood.Config{N: n, M: m})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: halfduplex M=%d: %w", m, err)
+		}
+		xs = append(xs, float64(m))
+		full = append(full, float64(res.TotalSlots))
+		half = append(half, float64(res.HalfDuplexSlots))
+		fd.TableRows = append(fd.TableRows, []string{
+			fmt.Sprintf("%d", m),
+			fmt.Sprintf("%d", res.TotalSlots),
+			fmt.Sprintf("%d", res.Type2Slots),
+			fmt.Sprintf("%d", res.HalfDuplexSlots),
+			fmt.Sprintf("%.2fx", float64(res.HalfDuplexSlots)/float64(res.TotalSlots)),
+		})
+	}
+	fd.Series = append(fd.Series,
+		Series{Name: "full duplex (Assumption I)", X: xs, Y: full},
+		Series{Name: "half duplex (type-2 slots split)", X: xs, Y: half},
+	)
+	fd.Notes = append(fd.Notes,
+		"the half-duplex penalty stays below 2x — only slots with simultaneous transmit+receive are doubled",
+	)
+	return fd, nil
+}
+
+// Fig5 reproduces both panels of Fig. 5: the Theorem 1 flooding delay limit
+// versus the number of packets M. Left panel: T=5 with N in {256, 1024,
+// 4096}. Right panel: N=1024 with duty ratio in {10%, 20%, 100%}.
+func Fig5() (*FigureData, error) {
+	fd := &FigureData{
+		ID:     "fig5",
+		Title:  "Fig. 5: flooding delay limit (Theorem 1) vs number of packets M",
+		XLabel: "total number of packets flooded (M)",
+		YLabel: "flooding delay limit / time slots",
+	}
+	ms := make([]float64, 0, 20)
+	for m2 := 1; m2 <= 20; m2++ {
+		ms = append(ms, float64(m2))
+	}
+	appendSeries := func(name string, n, t int) {
+		ys := make([]float64, 0, len(ms))
+		for m2 := 1; m2 <= 20; m2++ {
+			ys = append(ys, analysis.FDLTheorem1(n, m2, t))
+		}
+		fd.Series = append(fd.Series, Series{Name: name, X: ms, Y: ys})
+	}
+	// Left panel: T = 5.
+	appendSeries("T=5 N=4096", 4096, 5)
+	appendSeries("T=5 N=1024", 1024, 5)
+	appendSeries("T=5 N=256", 256, 5)
+	// Right panel: N = 1024.
+	appendSeries("N=1024 duty=10%", 1024, 10)
+	appendSeries("N=1024 duty=20%", 1024, 5)
+	appendSeries("N=1024 duty=100%", 1024, 1)
+	fd.TableHeaders = []string{"series", "knee (M=m)", "FDL@M=20"}
+	for _, s := range fd.Series {
+		var n int
+		fmt.Sscanf(strings.Split(s.Name, "N=")[1], "%d", &n)
+		fd.TableRows = append(fd.TableRows, []string{
+			s.Name,
+			fmt.Sprintf("%d", analysis.KneePoint(n)),
+			fmt.Sprintf("%.1f", s.Y[len(s.Y)-1]),
+		})
+	}
+	return fd, nil
+}
+
+// Fig6 reproduces Fig. 6: Theorem 2's lower and upper bounds on the
+// flooding delay limit for arbitrary N (256 and 1024), T=5, M=2..20.
+func Fig6() (*FigureData, error) {
+	fd := &FigureData{
+		ID:     "fig6",
+		Title:  "Fig. 6: flooding delay limit bounds (Theorem 2), T=5",
+		XLabel: "total number of packets flooded (M)",
+		YLabel: "flooding delay limit / time slots",
+	}
+	for _, n := range []int{256, 1024} {
+		var xs, lo, hi []float64
+		for m2 := 2; m2 <= 20; m2++ {
+			b := analysis.FDLTheorem2(n, m2, 5)
+			xs = append(xs, float64(m2))
+			lo = append(lo, b.Lower)
+			hi = append(hi, b.Upper)
+		}
+		fd.Series = append(fd.Series,
+			Series{Name: fmt.Sprintf("N=%d lower bound", n), X: xs, Y: lo},
+			Series{Name: fmt.Sprintf("N=%d upper bound", n), X: xs, Y: hi},
+		)
+	}
+	return fd, nil
+}
+
+// GaltonWatson illustrates Lemma 1: sample paths of the normalized
+// population X(c)/μ^c converging to the almost-sure limit X with E[X] = 1
+// and Var[X] = σ²/(μ²-μ). Five sample paths plus the theoretical mean line
+// make the martingale convergence underlying Lemma 2 visible.
+func GaltonWatson() (*FigureData, error) {
+	gw, err := analysis.NewGaltonWatson(0.6)
+	if err != nil {
+		return nil, err
+	}
+	fd := &FigureData{
+		ID:     "gw",
+		Title:  fmt.Sprintf("Lemma 1: X(c)/μ^c sample paths (link success 0.6, μ=%.1f)", gw.Mu()),
+		XLabel: "generation c",
+		YLabel: "X(c) / μ^c",
+	}
+	const gens = 16
+	rng := rngutil.New(4)
+	for trial := 0; trial < 5; trial++ {
+		path := gw.SamplePath(gens, 0, rng.Sub(uint64(trial)))
+		xs := make([]float64, gens+1)
+		ys := make([]float64, gens+1)
+		for c, pop := range path {
+			xs[c] = float64(c)
+			ys[c] = float64(pop) / math.Pow(gw.Mu(), float64(c))
+		}
+		fd.Series = append(fd.Series, Series{Name: fmt.Sprintf("path %d", trial+1), X: xs, Y: ys})
+	}
+	mean := Series{Name: "E[X] = 1"}
+	for c := 0; c <= gens; c++ {
+		mean.X = append(mean.X, float64(c))
+		mean.Y = append(mean.Y, 1)
+	}
+	fd.Series = append(fd.Series, mean)
+	fd.TableHeaders = []string{"quantity", "value"}
+	fd.TableRows = [][]string{
+		{"μ", fmt.Sprintf("%.2f", gw.Mu())},
+		{"offspring variance σ²", fmt.Sprintf("%.3f", gw.OffspringVariance())},
+		{"Var[X] = σ²/(μ²-μ)", fmt.Sprintf("%.3f", gw.LimitVariance())},
+		{"Chebyshev Pr{X > 2}", fmt.Sprintf("< %.3f", gw.ChebyshevTail(2))},
+	}
+	fd.Notes = append(fd.Notes,
+		"each path flattens onto a random limit with mean 1 — the concentration that lets Lemma 2 read FWL off log2(1+N)",
+	)
+	return fd, nil
+}
+
+// Fig7 reproduces Fig. 7: the predicted flooding delay versus duty cycle
+// for k-class links (k = expected transmissions = 1/link-quality), via the
+// characteristic root of λ^(kT+1) = λ^kT + 1 on the paper's 298-node scale.
+func Fig7() (*FigureData, error) {
+	fd := &FigureData{
+		ID:     "fig7",
+		Title:  "Fig. 7: impact of link loss — predicted delay vs duty cycle (N=298)",
+		XLabel: "duty cycle (%)",
+		YLabel: "flooding delay / time slots",
+	}
+	duties := []float64{0.02, 0.03, 0.04, 0.05, 0.06, 0.07, 0.10, 0.20}
+	type variant struct {
+		k       float64
+		quality string
+	}
+	variants := []variant{
+		{2.00, "50%"},
+		{1.67, "60%"},
+		{1.42, "70%"},
+		{1.25, "80%"},
+	}
+	for _, v := range variants {
+		var xs, ys []float64
+		for _, d := range duties {
+			t := int(1/d + 0.5)
+			xs = append(xs, d*100)
+			ys = append(ys, analysis.PredictedDelay(298, 0.99, v.k, t))
+		}
+		fd.Series = append(fd.Series, Series{
+			Name: fmt.Sprintf("k=%.2f (link quality %s)", v.k, v.quality),
+			X:    xs, Y: ys,
+		})
+	}
+	fd.TableHeaders = []string{"duty", "k=2.00", "k=1.67", "k=1.42", "k=1.25"}
+	for i, d := range duties {
+		row := []string{fmt.Sprintf("%.0f%%", d*100)}
+		for _, s := range fd.Series {
+			row = append(row, fmt.Sprintf("%.1f", s.Y[i]))
+		}
+		fd.TableRows = append(fd.TableRows, row)
+	}
+	fd.Notes = append(fd.Notes,
+		"link loss magnifies the duty-cycle delay: compare columns at fixed duty",
+	)
+	return fd, nil
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"ldcflood/internal/optimize"
+)
+
+func TestCrossLayerSweep(t *testing.T) {
+	opts := tinyOpts()
+	opts.Protocols = []string{"dbao", "of"}
+	fd, err := CrossLayer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fd.Series) != 2 {
+		t.Fatalf("series = %d", len(fd.Series))
+	}
+	for _, s := range fd.Series {
+		if len(s.Y) == 0 {
+			t.Fatalf("%s empty", s.Name)
+		}
+		for _, y := range s.Y {
+			if y <= 0 {
+				t.Fatalf("%s non-positive gain %v", s.Name, y)
+			}
+		}
+	}
+	if len(fd.TableRows) != 2 {
+		t.Fatalf("rows = %d", len(fd.TableRows))
+	}
+	// The joint-optimum note exists and names a protocol.
+	if len(fd.Notes) == 0 || !strings.Contains(fd.Notes[0], "joint optimum") {
+		t.Fatalf("missing joint optimum note: %v", fd.Notes)
+	}
+	// DBAO's gain must beat OF's at the shared best duty (better protocol
+	// at the same energy cost).
+	dbao := fd.SeriesByName("DBAO")
+	of := fd.SeriesByName("OF")
+	if dbao == nil || of == nil {
+		t.Fatal("missing series")
+	}
+	for i := range dbao.Y {
+		if dbao.X[i] == of.X[i] && dbao.Y[i] < of.Y[i]*0.95 {
+			t.Fatalf("DBAO gain %v below OF %v at duty %v%%", dbao.Y[i], of.Y[i], dbao.X[i])
+		}
+	}
+}
+
+func TestScheduleGranularity(t *testing.T) {
+	opts := tinyOpts()
+	fd, err := ScheduleGranularity(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fd.SeriesByName("OPT")
+	if s == nil || len(s.Y) != 4 {
+		t.Fatalf("bad series: %+v", fd.Series)
+	}
+	// Coarser granularity (k=5, period 100) must not beat the paper's
+	// normalized one-slot model (k=1, period 20) at the same duty ratio.
+	if s.Y[len(s.Y)-1] < s.Y[0]*0.95 {
+		t.Fatalf("k=5 delay %.0f unexpectedly beats k=1 delay %.0f", s.Y[len(s.Y)-1], s.Y[0])
+	}
+	if len(fd.TableRows) != 4 {
+		t.Fatalf("rows = %d", len(fd.TableRows))
+	}
+}
+
+func TestProtoDisplayName(t *testing.T) {
+	cases := map[string]string{"opt": "OPT", "dbao": "DBAO", "of": "OF", "naive": "Naive", "x": "x"}
+	for in, want := range cases {
+		if got := protoDisplayName(in); got != want {
+			t.Fatalf("protoDisplayName(%q) = %q", in, got)
+		}
+	}
+}
+
+func TestSimDelayFunc(t *testing.T) {
+	opts := tinyOpts()
+	d := SimDelayFunc("opt", opts)
+	v1, err := d(0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 <= 0 {
+		t.Fatalf("delay %v", v1)
+	}
+	// Cached second call returns the identical value.
+	v2, err := d(0.10)
+	if err != nil || v2 != v1 {
+		t.Fatalf("cache broken: %v vs %v (%v)", v1, v2, err)
+	}
+	// Lower duty means higher delay.
+	v3, err := d(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v3 <= v1 {
+		t.Fatalf("delay at 5%% (%v) should exceed 10%% (%v)", v3, v1)
+	}
+	if _, err := d(0); err == nil {
+		t.Fatal("duty 0 accepted")
+	}
+	if _, err := d(1.5); err == nil {
+		t.Fatal("duty 1.5 accepted")
+	}
+}
+
+func TestSimDelayFuncWithOptimizer(t *testing.T) {
+	opts := tinyOpts()
+	d := SimDelayFunc("opt", opts)
+	p, err := optimize.MinDutyForDelayBudget(optimize.Config{
+		MinDuty: 0.02, MaxDuty: 0.5,
+	}, d, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Duty != 0.02 {
+		t.Fatalf("trivial budget should pin at MinDuty, got %v", p.Duty)
+	}
+}

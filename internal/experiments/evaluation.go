@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"ldcflood/internal/analysis"
+	"ldcflood/internal/flood"
+	"ldcflood/internal/metrics"
+	"ldcflood/internal/rngutil"
+	"ldcflood/internal/schedule"
+	"ldcflood/internal/sim"
+	"ldcflood/internal/topology"
+)
+
+// Fig8 reproduces Fig. 8: the GreenOrbs topology. Ours is the synthetic
+// 298-node stand-in (see DESIGN.md substitution table); the figure reports
+// the structural statistics used for calibration plus a position scatter.
+func Fig8(topoSeed uint64) (*FigureData, error) {
+	g := topology.GreenOrbs(topoSeed)
+	s := g.Analyze()
+	fd := &FigureData{
+		ID:     "fig8",
+		Title:  fmt.Sprintf("Fig. 8: synthetic GreenOrbs topology (%s)", g.Name),
+		XLabel: "x / m",
+		YLabel: "y / m",
+	}
+	var xs, ys []float64
+	for _, p := range g.Pos {
+		xs = append(xs, p.X)
+		ys = append(ys, p.Y)
+	}
+	fd.Series = append(fd.Series, Series{Name: "sensor", X: xs, Y: ys})
+	fd.TableHeaders = []string{"metric", "value"}
+	fd.TableRows = [][]string{
+		{"nodes", fmt.Sprintf("%d", s.Nodes)},
+		{"links", fmt.Sprintf("%d", s.Links)},
+		{"mean degree", fmt.Sprintf("%.1f", s.MeanDegree)},
+		{"diameter (hops)", fmt.Sprintf("%d", s.Diameter)},
+		{"source eccentricity", fmt.Sprintf("%d", s.SourceEcc)},
+		{"mean link PRR", fmt.Sprintf("%.3f", s.PRR.Mean)},
+		{"PRR p25/p50/p75", fmt.Sprintf("%.2f/%.2f/%.2f", s.PRR.P25, s.PRR.Median, s.PRR.P75)},
+		{"transitional-link fraction", fmt.Sprintf("%.2f", s.Transitional)},
+		{"connected", fmt.Sprintf("%v", s.Connected)},
+	}
+	fd.Notes = append(fd.Notes,
+		"synthetic stand-in for the proprietary GreenOrbs RSSI trace; calibrated to the published aggregates",
+	)
+	return fd, nil
+}
+
+// runProtocol executes opts.Runs simulations of one protocol at one duty
+// cycle and aggregates them.
+func runProtocol(g *topology.Graph, name string, period int, opts SimOptions) (*metrics.Aggregate, error) {
+	var results []*sim.Result
+	for run := 0; run < opts.Runs; run++ {
+		p, err := flood.New(name)
+		if err != nil {
+			return nil, err
+		}
+		seed := opts.Seed + uint64(run)*1000
+		scheds := schedule.AssignUniform(g.N(), period,
+			rngutil.New(seed).SubName("schedule"))
+		res, err := sim.Run(sim.Config{
+			Graph:     g,
+			Schedules: scheds,
+			Protocol:  p,
+			M:         opts.M,
+			Coverage:  opts.Coverage,
+			Seed:      seed,
+			MaxSlots:  opts.MaxSlots,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s at T=%d: %w", name, period, err)
+		}
+		results = append(results, res)
+	}
+	return metrics.Combine(results)
+}
+
+// Fig9 reproduces Fig. 9: per-packet flooding delay versus packet index for
+// OF, DBAO and OPT on the GreenOrbs trace at 5% duty cycle, with the
+// transmission-delay component reported alongside (the paper separates it
+// from the queueing/blocking delay).
+func Fig9(opts SimOptions) (*FigureData, error) {
+	opts.normalize()
+	g := topology.GreenOrbs(opts.TopoSeed)
+	period := schedule.PeriodForDuty(0.05)
+	fd := &FigureData{
+		ID:     "fig9",
+		Title:  fmt.Sprintf("Fig. 9: flooding delay vs packet index (GreenOrbs, duty 5%%, M=%d)", opts.M),
+		XLabel: "index of each packet",
+		YLabel: "flooding delay / time slots",
+	}
+	for _, name := range opts.Protocols {
+		agg, err := runProtocol(g, name, period, opts)
+		if err != nil {
+			return nil, err
+		}
+		var xs, ys, hs []float64
+		for p, d := range agg.MeanDelayPerPacket {
+			if d == d { // skip NaN (uncovered)
+				xs = append(xs, float64(p))
+				ys = append(ys, d)
+				hs = append(hs, agg.MeanFirstHopPerPacket[p])
+			}
+		}
+		fd.Series = append(fd.Series, Series{Name: agg.Protocol, X: xs, Y: ys})
+		// The transmission-delay component the paper separates from the
+		// queueing (blocking) delay in Fig. 9.
+		fd.Series = append(fd.Series, Series{Name: agg.Protocol + " tx-delay", X: xs, Y: hs})
+		// Transmission-delay component of the first and last packets.
+		fd.TableRows = append(fd.TableRows, []string{
+			agg.Protocol,
+			fmt.Sprintf("%.1f", agg.Delay.Mean),
+			fmt.Sprintf("%.1f", agg.MeanDelayPerPacket[0]),
+			fmt.Sprintf("%.1f", agg.MeanDelayPerPacket[len(agg.MeanDelayPerPacket)-1]),
+			fmt.Sprintf("%.2f", agg.CoveredFraction),
+		})
+	}
+	fd.TableHeaders = []string{"protocol", "mean delay", "first packet", "last packet", "covered"}
+	fd.Notes = append(fd.Notes,
+		"delay grows with packet index then saturates for OPT/DBAO (limited blocking, Corollary 1); OF saturates higher",
+	)
+	return fd, nil
+}
+
+// Fig10And11 reproduces Fig. 10 (average flooding delay vs duty cycle, with
+// the analytic predicted lower bound) and Fig. 11 (number of transmission
+// failures vs duty cycle) from one shared sweep, exactly as the paper
+// derives both figures from the same runs.
+func Fig10And11(opts SimOptions) (*FigureData, *FigureData, error) {
+	opts.normalize()
+	g := topology.GreenOrbs(opts.TopoSeed)
+	k := analysis.KClass(g.MeanLinkPRR())
+
+	f10 := &FigureData{
+		ID:     "fig10",
+		Title:  fmt.Sprintf("Fig. 10: average flooding delay vs duty cycle (GreenOrbs, M=%d)", opts.M),
+		XLabel: "duty cycle (%)",
+		YLabel: "average flooding delay / time slots",
+	}
+	f11 := &FigureData{
+		ID:     "fig11",
+		Title:  fmt.Sprintf("Fig. 11: transmission failures vs duty cycle (GreenOrbs, M=%d)", opts.M),
+		XLabel: "duty cycle (%)",
+		YLabel: "number of transmission failures",
+	}
+
+	// The sweep cells are independent simulations; run them concurrently
+	// and collect into fixed positions so the output stays deterministic.
+	type cell struct {
+		agg *metrics.Aggregate
+		err error
+	}
+	cells := make([][]cell, len(opts.Duties))
+	var wg sync.WaitGroup
+	for di, duty := range opts.Duties {
+		cells[di] = make([]cell, len(opts.Protocols))
+		period := schedule.PeriodForDuty(duty)
+		for pi, name := range opts.Protocols {
+			wg.Add(1)
+			go func(di, pi int, name string, period int) {
+				defer wg.Done()
+				agg, err := runProtocol(g, name, period, opts)
+				cells[di][pi] = cell{agg: agg, err: err}
+			}(di, pi, name, period)
+		}
+	}
+	wg.Wait()
+
+	delays := make(map[string][]float64)
+	fails := make(map[string][]float64)
+	var xs, predicted []float64
+	for di, duty := range opts.Duties {
+		period := schedule.PeriodForDuty(duty)
+		xs = append(xs, duty*100)
+		predicted = append(predicted, analysis.PredictedDelay(g.N()-1, opts.Coverage, k, period))
+		for pi := range opts.Protocols {
+			c := cells[di][pi]
+			if c.err != nil {
+				return nil, nil, c.err
+			}
+			delays[c.agg.Protocol] = append(delays[c.agg.Protocol], c.agg.Delay.Mean)
+			fails[c.agg.Protocol] = append(fails[c.agg.Protocol], c.agg.Failures)
+		}
+	}
+	// Series in paper order (OF, DBAO, OPT, bound).
+	order := make([]string, 0, len(opts.Protocols))
+	for _, name := range opts.Protocols {
+		p, err := flood.New(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		order = append(order, p.Name())
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		name := order[i]
+		f10.Series = append(f10.Series, Series{Name: name, X: xs, Y: delays[name]})
+		f11.Series = append(f11.Series, Series{Name: name, X: xs, Y: fails[name]})
+	}
+	f10.Series = append(f10.Series, Series{Name: "Predicted Lower Bound", X: xs, Y: predicted})
+
+	f10.TableHeaders = append([]string{"duty"}, append(order, "bound")...)
+	f11.TableHeaders = append([]string{"duty"}, order...)
+	for i := range xs {
+		r10 := []string{fmt.Sprintf("%.0f%%", xs[i])}
+		r11 := []string{fmt.Sprintf("%.0f%%", xs[i])}
+		for _, name := range order {
+			r10 = append(r10, fmt.Sprintf("%.0f", delays[name][i]))
+			r11 = append(r11, fmt.Sprintf("%.0f", fails[name][i]))
+		}
+		r10 = append(r10, fmt.Sprintf("%.0f", predicted[i]))
+		f10.TableRows = append(f10.TableRows, r10)
+		f11.TableRows = append(f11.TableRows, r11)
+	}
+	f10.Notes = append(f10.Notes,
+		"delay deteriorates sharply at low duty cycles; OPT < DBAO < OF; the analytic bound sits below OPT",
+	)
+	f11.Notes = append(f11.Notes,
+		"failure counts stay roughly flat across duty cycles (energy ∝ duty ratio), Section V-C2",
+	)
+	return f10, f11, nil
+}

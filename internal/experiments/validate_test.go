@@ -1,0 +1,199 @@
+package experiments
+
+// Integration tests validating the simulator against the paper's theory —
+// the Section V exercise, in miniature, run on every `go test`.
+
+import (
+	"testing"
+
+	"ldcflood/internal/analysis"
+	"ldcflood/internal/flood"
+	"ldcflood/internal/rngutil"
+	"ldcflood/internal/schedule"
+	"ldcflood/internal/sim"
+	"ldcflood/internal/stats"
+	"ldcflood/internal/topology"
+)
+
+func alwaysOn(n int) []*schedule.Schedule {
+	out := make([]*schedule.Schedule, n)
+	for i := range out {
+		out[i] = schedule.AlwaysOn()
+	}
+	return out
+}
+
+// With perfect links, always-on schedules and the OPT oracle on a complete
+// graph, the holder set doubles every slot — the simulated single-packet
+// delay must equal ⌈log2(N)⌉ exactly (Lemma 2 with μ=2; here every node
+// including the source counts toward coverage).
+func TestSimAchievesLemma2OnIdealCompleteGraph(t *testing.T) {
+	for _, n := range []int{8, 32, 128, 256} {
+		g := topology.Complete(n, 1)
+		p := &flood.OPT{DisableOverhearing: true}
+		res, err := sim.Run(sim.Config{
+			Graph: g, Schedules: alwaysOn(n), Protocol: p,
+			M: 1, Coverage: 1, Seed: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int64(analysis.FWLFloor(n - 1)) // N sensors = n-1 non-source nodes
+		if res.Delay[0] != want-0 && res.Delay[0] != want-1 {
+			// Doubling covers 2^t nodes by the end of slot t-1; coverage of
+			// n nodes lands at slot ⌈log2(n)⌉-1 (delay counts from slot 0).
+			t.Fatalf("n=%d: delay %d, want ~%d", n, res.Delay[0], want)
+		}
+	}
+}
+
+// With lossy links (PRR p) the per-slot growth factor is μ = 1+p, so the
+// simulated coverage time should track log(N)/log(1+p) (Lemma 2).
+func TestSimTracksGaltonWatsonGrowth(t *testing.T) {
+	n := 256
+	for _, prr := range []float64{0.8, 0.5} {
+		g := topology.Complete(n, prr)
+		var acc stats.Running
+		for seed := uint64(0); seed < 10; seed++ {
+			p := &flood.OPT{DisableOverhearing: true}
+			res, err := sim.Run(sim.Config{
+				Graph: g, Schedules: alwaysOn(n), Protocol: p,
+				M: 1, Coverage: 1, Seed: seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			acc.Add(float64(res.Delay[0]))
+		}
+		// The branching-process estimate captures the exponential-growth
+		// phase; full (100%) coverage additionally pays a geometric
+		// straggler tail (each remaining receiver succeeds w.p. prr per
+		// slot) that Lemma 2's population count does not model, so the
+		// simulated mean sits somewhat above the estimate for lossy links.
+		want := float64(analysis.Lemma2FWL(n-1, 1+prr))
+		if acc.Mean() < want*0.7 || acc.Mean() > want*1.8 {
+			t.Fatalf("prr=%v: simulated mean delay %.1f vs Lemma 2 %.0f", prr, acc.Mean(), want)
+		}
+	}
+}
+
+// Multi-packet flooding on the ideal complete graph must stay within the
+// Theorem 2 envelope: at T=1 (always-on) the expected FDL bounds collapse
+// to compact-slot counts.
+func TestSimMultiPacketWithinTheorem2Envelope(t *testing.T) {
+	n, m := 64, 12
+	g := topology.Complete(n, 1)
+	p := &flood.OPT{DisableOverhearing: true}
+	res, err := sim.Run(sim.Config{
+		Graph: g, Schedules: alwaysOn(n), Protocol: p,
+		M: m, Coverage: 1, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("incomplete")
+	}
+	// Completion of the last packet (in slots) against the worst-case
+	// compact FWL with generous constant slack: the engine's OPT is
+	// receiver-driven, not the centralized optimal schedule.
+	bound := int64(4*analysis.FWLMulti(n-1, m) + 8)
+	last := res.CoverTime[m-1]
+	if last > bound {
+		t.Fatalf("last packet covered at %d, beyond 4x FWL bound %d", last, bound)
+	}
+	if float64(res.Delay[0]) > 3*float64(analysis.FWLFloor(n-1)) {
+		t.Fatalf("first packet delay %d far above single-packet limit %d", res.Delay[0], analysis.FWLFloor(n-1))
+	}
+}
+
+// Halving the duty cycle should roughly double the flooding delay
+// (Theorem 1: E[FDL] scales linearly with T).
+func TestSimDelayScalesWithPeriod(t *testing.T) {
+	g := topology.GreenOrbs(2)
+	mean := func(period int) float64 {
+		var acc stats.Running
+		for seed := uint64(0); seed < 3; seed++ {
+			p, _ := flood.New("opt")
+			res, err := sim.Run(sim.Config{
+				Graph: g,
+				Schedules: schedule.AssignUniform(g.N(), period,
+					rngutil.New(50+seed).SubName("schedule")),
+				Protocol: p, M: 10, Coverage: 0.99, Seed: seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			acc.Add(res.MeanDelay())
+		}
+		return acc.Mean()
+	}
+	d10 := mean(10)
+	d20 := mean(20)
+	ratio := d20 / d10
+	if ratio < 1.4 || ratio > 2.8 {
+		t.Fatalf("doubling the period scaled delay by %.2f (d10=%.0f, d20=%.0f), want ~2", ratio, d10, d20)
+	}
+}
+
+// Link loss must amplify the delay beyond the ideal-network value —
+// Section IV-B's central claim — and the measured amplification should be
+// at least the k-class ratio of the two characteristic roots.
+func TestSimLossAmplification(t *testing.T) {
+	n := 64
+	period := 10
+	mean := func(prr float64) float64 {
+		g := topology.Complete(n, prr)
+		var acc stats.Running
+		for seed := uint64(0); seed < 3; seed++ {
+			p := &flood.OPT{DisableOverhearing: true}
+			res, err := sim.Run(sim.Config{
+				Graph: g,
+				Schedules: schedule.AssignUniform(n, period,
+					rngutil.New(70+seed).SubName("schedule")),
+				Protocol: p, M: 5, Coverage: 1, Seed: seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			acc.Add(res.MeanDelay())
+		}
+		return acc.Mean()
+	}
+	ideal := mean(1.0)
+	lossy := mean(0.5)
+	if lossy <= ideal {
+		t.Fatalf("loss did not amplify delay: %.1f vs %.1f", lossy, ideal)
+	}
+	// Analytic amplification between k=1 and k=2 at this period.
+	predicted := analysis.PredictedDelay(n-1, 1, 2.0, period) /
+		analysis.PredictedDelay(n-1, 1, 1.0, period)
+	measured := lossy / ideal
+	if measured < predicted*0.5 {
+		t.Fatalf("measured amplification %.2f far below analytic %.2f", measured, predicted)
+	}
+}
+
+// The simulated Fig. 10 lower bound must hold: the analytic prediction
+// never exceeds the OPT oracle's measured delay.
+func TestAnalyticBoundBelowSimulatedOPT(t *testing.T) {
+	g := topology.GreenOrbs(1)
+	k := analysis.KClass(g.MeanLinkPRR())
+	for _, duty := range []float64{0.05, 0.10, 0.20} {
+		period := schedule.PeriodForDuty(duty)
+		p, _ := flood.New("opt")
+		res, err := sim.Run(sim.Config{
+			Graph: g,
+			Schedules: schedule.AssignUniform(g.N(), period,
+				rngutil.New(90).SubName("schedule")),
+			Protocol: p, M: 10, Coverage: 0.99, Seed: 9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := analysis.PredictedDelay(g.N()-1, 0.99, k, period)
+		if bound > res.MeanDelay() {
+			t.Fatalf("duty %v: analytic bound %.1f above simulated OPT %.1f", duty, bound, res.MeanDelay())
+		}
+	}
+}

@@ -1,0 +1,59 @@
+// Package flood implements the flooding protocols the paper evaluates
+// (Section V-A) on top of the sim engine:
+//
+//   - OPT: the oracle scheme — every sensor receives from its best-quality
+//     neighbor, no collisions ever occur.
+//   - DBAO: deterministic back-off assignment + overhearing (the authors'
+//     WASA'11 protocol); carrier sense among mutually audible candidates,
+//     hidden terminals collide.
+//   - OF: Opportunistic Flooding (Guo et al., MobiCom'09) — tree-primary
+//     forwarding along the energy-optimal tree plus probabilistic
+//     opportunistic forwarding decisions.
+//   - Naive: flat unicast flooding with no link-quality knowledge — the
+//     traditional-protocol baseline the introduction argues against.
+package flood
+
+import (
+	"fmt"
+	"strings"
+
+	"ldcflood/internal/sim"
+)
+
+// New returns a fresh protocol instance by name (case-insensitive):
+// "opt", "dbao", "of", "naive".
+func New(name string) (sim.Protocol, error) {
+	switch strings.ToLower(name) {
+	case "opt":
+		return NewOPT(), nil
+	case "dbao":
+		return NewDBAO(), nil
+	case "of":
+		return NewOF(), nil
+	case "naive":
+		return NewNaive(), nil
+	case "flash":
+		return NewFlash(), nil
+	default:
+		return nil, fmt.Errorf("flood: unknown protocol %q (want opt, dbao, of, naive, flash)", name)
+	}
+}
+
+// Names lists the available protocol names in evaluation order. Flash is
+// excluded because it additionally requires sim.Config.CaptureProb > 0;
+// request it explicitly with New("flash").
+func Names() []string { return []string{"opt", "dbao", "of", "naive"} }
+
+// deferToReception reports whether a prospective sender should stay silent
+// this slot to keep its own reception opportunity open. A node that is
+// awake and still missing packets cannot receive while it transmits
+// (semi-duplex); if two such nodes deterministically elect each other as
+// senders every period they starve forever. Every protocol therefore lets
+// an awake, needy sender abstain with a small probability, which breaks
+// mutual-transmission cycles within a few periods at negligible delay cost.
+func deferToReception(w *sim.World, sender int) bool {
+	if !w.IsAwake(sender) || !w.NeedsAnything(sender) {
+		return false
+	}
+	return w.ProtoRNG.Bool(0.25)
+}

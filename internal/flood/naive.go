@@ -1,0 +1,86 @@
+package flood
+
+import (
+	"sort"
+
+	"ldcflood/internal/sim"
+	"ldcflood/internal/topology"
+)
+
+// Naive is the traditional flat flooding baseline: every node that holds a
+// packet a waking neighbor needs contends to unicast it. Contention is
+// resolved with id-based ranks rotated per slot (nodes have no link-quality
+// knowledge), carrier sense over the physical audibility graph, and the
+// same hidden-terminal behaviour as DBAO — but no overhearing and no
+// structure. It exhibits the poor low-duty-cycle performance that motivates
+// the paper (Section I).
+type Naive struct {
+	// HiddenFireProb mirrors DBAO's hidden-candidate behaviour.
+	HiddenFireProb float64
+
+	assigned []bool
+	audible  [][]uint64
+}
+
+// NewNaive returns a fresh Naive instance.
+func NewNaive() *Naive { return &Naive{} }
+
+// Name implements sim.Protocol.
+func (n *Naive) Name() string { return "Naive" }
+
+// Reset implements sim.Protocol.
+func (n *Naive) Reset(w *sim.World) {
+	n.assigned = make([]bool, w.Graph.N())
+	if n.HiddenFireProb <= 0 {
+		n.HiddenFireProb = 0.5
+	}
+	n.audible = carrierSenseBitset(w.Graph, 1.2)
+}
+
+// CollisionsApply implements sim.Protocol.
+func (n *Naive) CollisionsApply() bool { return true }
+
+// Overhears implements sim.Protocol.
+func (n *Naive) Overhears() bool { return false }
+
+// Intents implements sim.Protocol.
+func (n *Naive) Intents(w *sim.World) []sim.Intent {
+	for i := range n.assigned {
+		n.assigned[i] = false
+	}
+	var out []sim.Intent
+	for _, r := range w.AwakeList() {
+		var cands []int
+		for _, l := range w.Graph.Neighbors(r) {
+			if !n.assigned[l.To] && w.OldestNeeded(l.To, r) >= 0 && !deferToReception(w, l.To) {
+				cands = append(cands, l.To)
+			}
+		}
+		if len(cands) == 0 {
+			continue
+		}
+		sort.Ints(cands)
+		// Rotate the rank origin by slot: no quality knowledge, just a
+		// deterministic TDMA-ish rotation every node can compute.
+		rot := int(w.Now()) % len(cands)
+		winner := cands[rot]
+		firing := []int{winner}
+		for i, c := range cands {
+			if i == rot {
+				continue
+			}
+			if topology.BitsetHas(n.audible[c], winner) {
+				continue
+			}
+			if w.ProtoRNG.Bool(n.HiddenFireProb) {
+				firing = append(firing, c)
+			}
+		}
+		for _, s := range firing {
+			pkt := w.OldestNeeded(s, r)
+			n.assigned[s] = true
+			out = append(out, sim.Intent{From: s, To: r, Packet: pkt})
+		}
+	}
+	return out
+}

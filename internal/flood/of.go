@@ -1,0 +1,137 @@
+package flood
+
+import (
+	"ldcflood/internal/sim"
+	"ldcflood/internal/tree"
+)
+
+// OF reconstructs Opportunistic Flooding (Guo et al., MobiCom'09): packets
+// primarily travel down the energy-optimal tree (minimum expected
+// transmission count), and senders additionally make probabilistic
+// opportunistic forwarding decisions over non-tree links based on the
+// expected delay distribution along the tree — a sender forwards over an
+// opportunistic link when the packet appears to be running ahead of (or the
+// tree path is lagging behind) its expected tree arrival. Opportunistic
+// senders do not coordinate with the tree parent, so simultaneous
+// transmissions collide; this, plus waiting on tree parents, is why OF
+// trails DBAO and OPT in the paper's evaluation.
+type OF struct {
+	// Aggressiveness scales the opportunistic forwarding probability;
+	// the default 0.25 reflects OF's conservative p-threshold decisions.
+	Aggressiveness float64
+	// DisableOpportunistic restricts OF to pure tree forwarding (ablation).
+	DisableOpportunistic bool
+
+	tr       *tree.Tree
+	expDelay []float64
+	assigned []bool
+}
+
+// NewOF returns a fresh OF instance with default parameters.
+func NewOF() *OF { return &OF{Aggressiveness: 0.25} }
+
+// Name implements sim.Protocol.
+func (o *OF) Name() string { return "OF" }
+
+// Reset implements sim.Protocol: builds the energy-optimal tree and the
+// per-node expected-delay distribution used by forwarding decisions.
+func (o *OF) Reset(w *sim.World) {
+	o.tr = tree.EnergyOptimal(w.Graph, 0)
+	period := w.Schedules[0].Period()
+	for _, s := range w.Schedules {
+		if s.Period() > period {
+			period = s.Period()
+		}
+	}
+	o.expDelay = o.tr.ExpectedDelay(w.Graph, period)
+	o.assigned = make([]bool, w.Graph.N())
+	if o.Aggressiveness <= 0 {
+		o.Aggressiveness = 0.25
+	}
+}
+
+// CollisionsApply implements sim.Protocol.
+func (o *OF) CollisionsApply() bool { return true }
+
+// Overhears implements sim.Protocol: OF coordinates through the tree, not
+// through overhearing.
+func (o *OF) Overhears() bool { return false }
+
+// Intents implements sim.Protocol.
+func (o *OF) Intents(w *sim.World) []sim.Intent {
+	for i := range o.assigned {
+		o.assigned[i] = false
+	}
+	var out []sim.Intent
+	for _, r := range w.AwakeList() {
+		parent := o.tr.Parent[r]
+		parentServes := false
+		if parent >= 0 && !o.assigned[parent] && !deferToReception(w, parent) {
+			if pkt := w.OldestNeeded(parent, r); pkt >= 0 {
+				o.assigned[parent] = true
+				out = append(out, sim.Intent{From: parent, To: r, Packet: pkt})
+				parentServes = true
+			}
+		}
+		if o.DisableOpportunistic {
+			continue
+		}
+		// Opportunistic senders: non-parent neighbors holding a needed
+		// packet decide independently; they cannot know whether the parent
+		// is about to transmit, so collisions with it are possible. Each
+		// sender normalizes its forwarding probability by the local
+		// candidate density (part of OF's p-value computation) so the
+		// expected number of opportunistic transmissions per wake-up stays
+		// O(Aggressiveness) rather than O(degree).
+		oppCands := 0
+		for _, l := range w.Graph.Neighbors(r) {
+			if l.To != parent && !o.assigned[l.To] && w.OldestNeeded(l.To, r) >= 0 {
+				oppCands++
+			}
+		}
+		if oppCands == 0 {
+			continue
+		}
+		for _, l := range w.Graph.Neighbors(r) {
+			s := l.To
+			if s == parent || o.assigned[s] {
+				continue
+			}
+			pkt := w.OldestNeeded(s, r)
+			if pkt < 0 {
+				continue
+			}
+			q := o.forwardProbability(w, r, pkt, l.PRR, parentServes, oppCands)
+			if q > 0 && w.ProtoRNG.Bool(q) && !deferToReception(w, s) {
+				o.assigned[s] = true
+				out = append(out, sim.Intent{From: s, To: r, Packet: pkt})
+			}
+		}
+	}
+	return out
+}
+
+// forwardProbability is the opportunistic forwarding decision: compare the
+// packet's age against its expected tree-path arrival at the receiver. A
+// packet already overdue (the tree path is slow or lossy) is forwarded
+// aggressively; one well ahead of schedule is forwarded rarely, and only
+// over good links. The density divisor keeps the expected opportunistic
+// transmission count per wake-up constant.
+func (o *OF) forwardProbability(w *sim.World, receiver, pkt int, prr float64, parentServes bool, oppCands int) float64 {
+	age := float64(w.Now() - w.InjectSlot(pkt))
+	expected := o.expDelay[receiver]
+	q := o.Aggressiveness * prr / float64(oppCands)
+	if age > expected {
+		// Overdue: the tree is failing this receiver; seize the slot.
+		q *= 2
+	}
+	if parentServes {
+		// The parent holds the packet and is awake-adjacent; most of the
+		// time the tree will deliver, so stand down proportionally.
+		q *= 0.25
+	}
+	if q > 1 {
+		q = 1
+	}
+	return q
+}

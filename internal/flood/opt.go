@@ -1,0 +1,69 @@
+package flood
+
+import "ldcflood/internal/sim"
+
+// OPT is the oracle flooding scheme of Section V-A: at every active slot
+// each sensor receives a needed packet from the neighbor with the best link
+// quality that holds one, and no collisions ever occur. Its delay is the
+// globally optimal flooding performance the practical protocols are
+// measured against.
+type OPT struct {
+	// DisableOverhearing restricts the oracle to pure unicast receptions.
+	// Used by validation tests that compare the simulator against the
+	// Galton-Watson doubling model, where each node receives via exactly
+	// one unicast per slot.
+	DisableOverhearing bool
+
+	assigned []bool
+}
+
+// NewOPT returns a fresh OPT instance.
+func NewOPT() *OPT { return &OPT{} }
+
+// Name implements sim.Protocol.
+func (o *OPT) Name() string { return "OPT" }
+
+// Reset implements sim.Protocol.
+func (o *OPT) Reset(w *sim.World) {
+	o.assigned = make([]bool, w.Graph.N())
+}
+
+// CollisionsApply implements sim.Protocol: the oracle never collides.
+func (o *OPT) CollisionsApply() bool { return false }
+
+// Overhears implements sim.Protocol: the oracle exploits every physically
+// available reception, including free overheard packets — otherwise a
+// practical protocol with overhearing (DBAO) could beat the "optimal"
+// scheme, contradicting its definition.
+func (o *OPT) Overhears() bool { return !o.DisableOverhearing }
+
+// Intents implements sim.Protocol: for each awake receiver, its
+// highest-PRR neighbor holding a needed packet transmits the FCFS packet.
+// A sender serves one receiver per slot (semi-duplex); contended receivers
+// fall back to their next-best holder.
+func (o *OPT) Intents(w *sim.World) []sim.Intent {
+	for i := range o.assigned {
+		o.assigned[i] = false
+	}
+	var out []sim.Intent
+	for _, r := range w.AwakeList() {
+		bestS, bestPRR := -1, 0.0
+		for _, l := range w.Graph.Neighbors(r) {
+			if o.assigned[l.To] {
+				continue
+			}
+			if l.PRR > bestPRR || (l.PRR == bestPRR && bestS >= 0 && l.To < bestS) {
+				if w.OldestNeeded(l.To, r) >= 0 && !deferToReception(w, l.To) {
+					bestS, bestPRR = l.To, l.PRR
+				}
+			}
+		}
+		if bestS < 0 {
+			continue
+		}
+		pkt := w.OldestNeeded(bestS, r)
+		o.assigned[bestS] = true
+		out = append(out, sim.Intent{From: bestS, To: r, Packet: pkt})
+	}
+	return out
+}

@@ -1,0 +1,25 @@
+package optimize_test
+
+import (
+	"fmt"
+
+	"ldcflood/internal/optimize"
+)
+
+// Delay-budget provisioning: the lowest duty cycle (longest lifetime)
+// whose flooding delay stays within budget, using a synthetic delay model
+// delay(duty) = 100 + 10/duty slots.
+func ExampleMinDutyForDelayBudget() {
+	delay := func(duty float64) (float64, error) {
+		return 100 + 10/duty, nil
+	}
+	p, err := optimize.MinDutyForDelayBudget(optimize.Config{
+		TxPerSecond: 0.05, MinDuty: 0.01, MaxDuty: 1,
+	}, delay, 300)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("duty %.1f%%, delay %.0f slots\n", p.Duty*100, p.Delay)
+	// Output: duty 5.0%, delay 300 slots
+}

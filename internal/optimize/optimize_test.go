@@ -1,0 +1,234 @@
+package optimize
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"ldcflood/internal/metrics"
+)
+
+// syntheticDelay has a floor plus a super-linear duty blow-up, giving an
+// interior gain peak.
+func syntheticDelay(duty float64) (float64, error) {
+	return 2000 + 100/(duty*duty), nil
+}
+
+func TestMaximizeFindsInteriorPeak(t *testing.T) {
+	res, err := Maximize(Config{TxPerSecond: 0.1}, syntheticDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Duty <= 0.006 || res.Best.Duty >= 0.9 {
+		t.Fatalf("peak at boundary: %+v", res.Best)
+	}
+	// The best point must beat every coarse sample.
+	for _, p := range res.Curve {
+		if !math.IsNaN(p.Gain) && p.Gain > res.Best.Gain+1e-9 {
+			t.Fatalf("curve point %+v beats reported best %+v", p, res.Best)
+		}
+	}
+	if res.Best.Period < 1 || res.Best.Delay <= 0 || res.Best.Lifetime <= 0 {
+		t.Fatalf("degenerate best: %+v", res.Best)
+	}
+}
+
+func TestMaximizeCurveSortedAndSized(t *testing.T) {
+	res, err := Maximize(Config{Samples: 10, Refinements: 5}, syntheticDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curve) != 10 {
+		t.Fatalf("curve size %d", len(res.Curve))
+	}
+	for i := 1; i < len(res.Curve); i++ {
+		if res.Curve[i].Duty <= res.Curve[i-1].Duty {
+			t.Fatal("curve not sorted by duty")
+		}
+	}
+}
+
+func TestMaximizeMonotoneDelayPushesHighDuty(t *testing.T) {
+	// If delay is flat, lifetime dominates and the lowest duty wins.
+	flat := func(duty float64) (float64, error) { return 1000, nil }
+	res, err := Maximize(Config{}, flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Duty > 0.01 {
+		t.Fatalf("flat delay should favor minimum duty, got %v", res.Best.Duty)
+	}
+}
+
+func TestMaximizeErrors(t *testing.T) {
+	if _, err := Maximize(Config{}, nil); err == nil {
+		t.Fatal("nil delay accepted")
+	}
+	if _, err := Maximize(Config{MinDuty: 0.5, MaxDuty: 0.1}, syntheticDelay); err == nil {
+		t.Fatal("inverted bracket accepted")
+	}
+	if _, err := Maximize(Config{TxPerSecond: -1}, syntheticDelay); err == nil {
+		t.Fatal("negative tx rate accepted")
+	}
+	boom := errors.New("boom")
+	failing := func(duty float64) (float64, error) { return 0, boom }
+	if _, err := Maximize(Config{}, failing); !errors.Is(err, boom) {
+		t.Fatalf("delay error not propagated: %v", err)
+	}
+}
+
+func TestAnalyticDelayValidation(t *testing.T) {
+	cases := []struct {
+		n       int
+		quality float64
+		cov     float64
+		m       int
+	}{
+		{0, 0.8, 0.99, 10},
+		{10, 0, 0.99, 10},
+		{10, 1.5, 0.99, 10},
+		{10, 0.8, 0, 10},
+		{10, 0.8, 0.99, 0},
+	}
+	for i, c := range cases {
+		if _, err := AnalyticDelay(c.n, c.quality, c.cov, c.m); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestAnalyticDelayShape(t *testing.T) {
+	d, err := AnalyticDelay(298, 0.85, 0.99, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decreasing in duty.
+	prev := math.Inf(1)
+	for _, duty := range []float64{0.02, 0.05, 0.10, 0.20, 0.50} {
+		v, err := d(duty)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v <= 0 || v >= prev {
+			t.Fatalf("delay not decreasing in duty: %v at %v (prev %v)", v, duty, prev)
+		}
+		prev = v
+	}
+	if _, err := d(0); err == nil {
+		t.Fatal("duty 0 accepted")
+	}
+	// More packets mean more queueing delay.
+	d1, _ := AnalyticDelay(298, 0.85, 0.99, 1)
+	d50, _ := AnalyticDelay(298, 0.85, 0.99, 50)
+	v1, _ := d1(0.05)
+	v50, _ := d50(0.05)
+	if v50 <= v1 {
+		t.Fatalf("M=50 delay %v should exceed M=1 delay %v", v50, v1)
+	}
+}
+
+func TestEndToEndAnalyticOptimum(t *testing.T) {
+	// With the analytic (contention-free) delay model, delay grows ~T while
+	// radio-on lifetime grows ~1/duty, so the networking gain only turns
+	// over once the sleep-power floor caps the lifetime — the optimum is
+	// interior over a wide bracket, and far from always-on.
+	d, err := AnalyticDelay(298, 0.85, 0.99, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Maximize(Config{TxPerSecond: 0.05, MinDuty: 1e-6, MaxDuty: 1}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Duty < 2e-6 || res.Best.Duty > 0.5 {
+		t.Fatalf("optimum at boundary: %+v", res.Best)
+	}
+	t.Logf("analytic optimum: duty %.4f%% (period %d), delay %.0f slots, lifetime %.0f days, gain %.0f",
+		res.Best.Duty*100, res.Best.Period, res.Best.Delay, res.Best.Lifetime/86400, res.Best.Gain)
+}
+
+func TestMinDutyForDelayBudget(t *testing.T) {
+	d, err := AnalyticDelay(298, 0.85, 0.99, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := 200.0
+	p, err := MinDutyForDelayBudget(Config{TxPerSecond: 0.05}, d, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Delay > budget {
+		t.Fatalf("returned duty %v violates budget: delay %v", p.Duty, p.Delay)
+	}
+	// A slightly lower duty must violate the budget (minimality), unless
+	// we're pinned at the bracket minimum.
+	if p.Duty > 0.0051 {
+		v, err := d(p.Duty * 0.9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v <= budget {
+			t.Fatalf("duty %v not minimal: %v also meets budget %v", p.Duty, p.Duty*0.9, budget)
+		}
+	}
+	// Unreachable budget errors.
+	if _, err := MinDutyForDelayBudget(Config{}, d, 1); err == nil {
+		t.Fatal("impossible budget accepted")
+	}
+	// Trivial budget returns the bracket minimum.
+	p2, err := MinDutyForDelayBudget(Config{MinDuty: 0.01}, d, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Duty != 0.01 {
+		t.Fatalf("trivial budget should pin to MinDuty, got %v", p2.Duty)
+	}
+}
+
+func TestMinDutyForDelayBudgetErrors(t *testing.T) {
+	if _, err := MinDutyForDelayBudget(Config{}, nil, 10); err == nil {
+		t.Fatal("nil delay accepted")
+	}
+	d, _ := AnalyticDelay(298, 0.85, 0.99, 20)
+	if _, err := MinDutyForDelayBudget(Config{}, d, 0); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+	boom := errors.New("boom")
+	failing := func(duty float64) (float64, error) { return 0, boom }
+	if _, err := MinDutyForDelayBudget(Config{}, failing, 10); !errors.Is(err, boom) {
+		t.Fatalf("delay error not propagated: %v", err)
+	}
+}
+
+func BenchmarkMaximizeAnalytic(b *testing.B) {
+	d, err := AnalyticDelay(298, 0.85, 0.99, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Maximize(Config{TxPerSecond: 0.05}, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestMaximizeUsesCustomEnergyModel(t *testing.T) {
+	small := metrics.EnergyModel{
+		BatteryJoules: 1000, ActiveWatts: 0.1, SleepWatts: 1e-6,
+		TxJoules: 1e-4, SlotSeconds: 0.01,
+	}
+	res, err := Maximize(Config{Energy: small}, syntheticDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := metrics.DefaultEnergyModel()
+	res2, err := Maximize(Config{Energy: big}, syntheticDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Lifetime >= res2.Best.Lifetime {
+		t.Fatal("smaller battery should shorten best lifetime")
+	}
+}

@@ -1,0 +1,289 @@
+// Package rngutil provides deterministic, splittable pseudo-random number
+// streams for reproducible simulation experiments.
+//
+// The core type is Stream, a xoshiro256** generator. Streams are cheap to
+// create and can be split into statistically independent sub-streams keyed
+// by integers or strings (Sub, SubName). Keyed splitting lets every entity
+// in a simulation (node, link, packet) own its private stream derived from
+// one experiment seed, so results do not depend on the order in which
+// entities consume randomness.
+package rngutil
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Stream is a xoshiro256** pseudo-random generator. The zero value is not
+// usable; construct with New or by splitting an existing stream.
+type Stream struct {
+	s [4]uint64
+}
+
+// splitMix64 advances a SplitMix64 state and returns the next output.
+// It is used to seed xoshiro state and to mix split keys, per the
+// recommendation of the xoshiro authors.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a Stream seeded from the given seed. Distinct seeds yield
+// independent-looking streams; the same seed always yields the same stream.
+func New(seed uint64) *Stream {
+	st := seed
+	var r Stream
+	for i := range r.s {
+		r.s[i] = splitMix64(&st)
+	}
+	// xoshiro must not start from the all-zero state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x8764000b33c5e883
+	}
+	return &r
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *Stream) Uint64() uint64 {
+	s := &r.s
+	result := bits.RotateLeft64(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = bits.RotateLeft64(s[3], 45)
+	return result
+}
+
+// Sub returns a new independent stream derived from r's seed material and
+// the integer key. It does not consume randomness from r, so the set of
+// sub-streams obtained is independent of how much r itself has been used
+// after construction is irrelevant: Sub depends on r's current state, so
+// derive all sub-streams up front for strict reproducibility.
+func (r *Stream) Sub(key uint64) *Stream {
+	st := r.s[0] ^ bits.RotateLeft64(r.s[1], 13) ^ (key * 0x9e3779b97f4a7c15)
+	st ^= key + 0x6a09e667f3bcc909
+	var out Stream
+	for i := range out.s {
+		out.s[i] = splitMix64(&st)
+	}
+	if out.s[0]|out.s[1]|out.s[2]|out.s[3] == 0 {
+		out.s[0] = 0x41c64e6d
+	}
+	return &out
+}
+
+// SubName returns a sub-stream keyed by a string, for named components
+// ("topology", "schedule", "loss", ...).
+func (r *Stream) SubName(name string) *Stream {
+	// FNV-1a over the name, then integer split.
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	return r.Sub(h)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Stream) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("rngutil: Intn with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform uint64 in [0, n) using Lemire's unbiased
+// multiply-shift rejection method. It panics if n == 0.
+func (r *Stream) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rngutil: Uint64n with zero n")
+	}
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// IntRange returns a uniform int in [lo, hi]. It panics if hi < lo.
+func (r *Stream) IntRange(lo, hi int) int {
+	if hi < lo {
+		panic("rngutil: IntRange with hi < lo")
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Bool returns true with probability p. Out-of-range p is clamped to [0,1].
+func (r *Stream) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Norm returns a standard normal variate (Box-Muller; one value per call,
+// the pair's second half is discarded to keep the stream's consumption
+// pattern simple and splittable).
+func (r *Stream) Norm() float64 {
+	for {
+		u := r.Float64()
+		if u == 0 {
+			continue
+		}
+		v := r.Float64()
+		return math.Sqrt(-2*math.Log(u)) * math.Cos(2*math.Pi*v)
+	}
+}
+
+// NormMeanStd returns a normal variate with the given mean and standard
+// deviation. A non-positive std returns mean.
+func (r *Stream) NormMeanStd(mean, std float64) float64 {
+	if std <= 0 {
+		return mean
+	}
+	return mean + std*r.Norm()
+}
+
+// Exp returns an exponential variate with the given rate (mean 1/rate).
+// It panics if rate <= 0.
+func (r *Stream) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("rngutil: Exp with non-positive rate")
+	}
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u) / rate
+		}
+	}
+}
+
+// Geometric returns the number of Bernoulli(p) failures before the first
+// success (support {0, 1, 2, ...}). It panics unless 0 < p <= 1.
+func (r *Stream) Geometric(p float64) int {
+	if p <= 0 || p > 1 {
+		panic("rngutil: Geometric needs 0 < p <= 1")
+	}
+	if p == 1 {
+		return 0
+	}
+	// Inversion: floor(log(U)/log(1-p)).
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return int(math.Floor(math.Log(u) / math.Log(1-p)))
+		}
+	}
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (r *Stream) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle randomizes the order of n elements using the provided swap
+// function (Fisher-Yates). It panics if n < 0.
+func (r *Stream) Shuffle(n int, swap func(i, j int)) {
+	if n < 0 {
+		panic("rngutil: Shuffle with negative n")
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Zipf samples ranks 1..n with probability proportional to 1/rank^s. It
+// precomputes the CDF at construction, so sampling is O(log n). Use it for
+// skewed workload generation (popular packets, hot spots).
+type Zipf struct {
+	cdf []float64
+	rng *Stream
+}
+
+// NewZipf builds a Zipf sampler over ranks 1..n with exponent s >= 0
+// (s = 0 is uniform). It panics if n <= 0 or s < 0.
+func (r *Stream) NewZipf(s float64, n int) *Zipf {
+	if n <= 0 {
+		panic("rngutil: Zipf needs n > 0")
+	}
+	if s < 0 || math.IsNaN(s) {
+		panic("rngutil: Zipf needs s >= 0")
+	}
+	cdf := make([]float64, n)
+	acc := 0.0
+	for i := 1; i <= n; i++ {
+		acc += math.Pow(float64(i), -s)
+		cdf[i-1] = acc
+	}
+	for i := range cdf {
+		cdf[i] /= acc
+	}
+	return &Zipf{cdf: cdf, rng: r}
+}
+
+// Rank draws a rank in [1, n].
+func (z *Zipf) Rank() int {
+	u := z.rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo + 1
+}
+
+// Choose returns a uniformly random element index of a slice of length n
+// weighted by weights (len(weights) == n, all non-negative, not all zero).
+// It panics on invalid input.
+func (r *Stream) Choose(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic("rngutil: Choose with negative or NaN weight")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("rngutil: Choose with zero total weight")
+	}
+	x := r.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if x < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

@@ -1,0 +1,439 @@
+package rngutil
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seeds diverged at step %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams with different seeds coincide too often: %d/100", same)
+	}
+}
+
+func TestSubStreamsIndependent(t *testing.T) {
+	root := New(7)
+	a := root.Sub(1)
+	b := root.Sub(2)
+	a2 := New(7).Sub(1)
+	for i := 0; i < 100; i++ {
+		va, vb := a.Uint64(), b.Uint64()
+		if va == vb {
+			t.Fatalf("sub-streams 1 and 2 coincide at step %d", i)
+		}
+		if va != a2.Uint64() {
+			t.Fatalf("Sub(1) not reproducible at step %d", i)
+		}
+	}
+}
+
+func TestSubDoesNotConsumeParent(t *testing.T) {
+	a := New(9)
+	b := New(9)
+	_ = a.Sub(5)
+	_ = a.SubName("x")
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Sub/SubName consumed parent randomness")
+		}
+	}
+}
+
+func TestSubNameStable(t *testing.T) {
+	a := New(3).SubName("loss")
+	b := New(3).SubName("loss")
+	c := New(3).SubName("schedule")
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("SubName not deterministic")
+	}
+	if New(3).SubName("loss").Uint64() == c.Uint64() {
+		t.Fatal("different names produced identical streams")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(11)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(13)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %v too far from 0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(17)
+	for n := 1; n <= 10; n++ {
+		seen := make(map[int]bool)
+		for i := 0; i < 1000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+			seen[v] = true
+		}
+		if len(seen) != n {
+			t.Fatalf("Intn(%d) did not hit all values in 1000 draws: %d", n, len(seen))
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntRange(t *testing.T) {
+	r := New(19)
+	for i := 0; i < 1000; i++ {
+		v := r.IntRange(-3, 3)
+		if v < -3 || v > 3 {
+			t.Fatalf("IntRange out of range: %d", v)
+		}
+	}
+	if got := r.IntRange(5, 5); got != 5 {
+		t.Fatalf("IntRange(5,5) = %d", got)
+	}
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	r := New(23)
+	counts := make([]int, 8)
+	const n = 80000
+	for i := 0; i < n; i++ {
+		counts[r.Uint64n(8)]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / n
+		if math.Abs(frac-0.125) > 0.01 {
+			t.Fatalf("bucket %d frequency %v far from 1/8", i, frac)
+		}
+	}
+}
+
+func TestBool(t *testing.T) {
+	r := New(29)
+	if r.Bool(0) {
+		t.Fatal("Bool(0) returned true")
+	}
+	if !r.Bool(1) {
+		t.Fatal("Bool(1) returned false")
+	}
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) frequency %v", frac)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(31)
+	const n = 100000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("Norm mean %v", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("Norm variance %v", variance)
+	}
+}
+
+func TestNormMeanStd(t *testing.T) {
+	r := New(37)
+	if v := r.NormMeanStd(4.5, 0); v != 4.5 {
+		t.Fatalf("zero-std normal should return mean, got %v", v)
+	}
+	const n = 50000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.NormMeanStd(10, 2)
+	}
+	if mean := sum / n; math.Abs(mean-10) > 0.1 {
+		t.Fatalf("NormMeanStd mean %v", mean)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(41)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.Exp(2)
+		if v < 0 {
+			t.Fatalf("Exp returned negative %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.02 {
+		t.Fatalf("Exp(2) mean %v, want ~0.5", mean)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(43)
+	if v := r.Geometric(1); v != 0 {
+		t.Fatalf("Geometric(1) = %d, want 0", v)
+	}
+	const p = 0.25
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		g := r.Geometric(p)
+		if g < 0 {
+			t.Fatalf("Geometric returned negative %d", g)
+		}
+		sum += float64(g)
+	}
+	want := (1 - p) / p // mean of failures-before-success geometric
+	if mean := sum / n; math.Abs(mean-want) > 0.1 {
+		t.Fatalf("Geometric(%v) mean %v, want ~%v", p, mean, want)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(47)
+	for n := 0; n <= 20; n++ {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPermUniformFirstElement(t *testing.T) {
+	r := New(53)
+	counts := make([]int, 5)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		counts[r.Perm(5)[0]]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / n
+		if math.Abs(frac-0.2) > 0.015 {
+			t.Fatalf("Perm(5)[0]==%d frequency %v", i, frac)
+		}
+	}
+}
+
+func TestChoose(t *testing.T) {
+	r := New(59)
+	counts := make([]int, 3)
+	w := []float64{1, 2, 7}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[r.Choose(w)]++
+	}
+	for i, want := range []float64{0.1, 0.2, 0.7} {
+		frac := float64(counts[i]) / n
+		if math.Abs(frac-want) > 0.01 {
+			t.Fatalf("Choose weight %d frequency %v want %v", i, frac, want)
+		}
+	}
+}
+
+func TestChoosePanics(t *testing.T) {
+	cases := [][]float64{{0, 0}, {-1, 2}, {}}
+	for _, w := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Choose(%v) did not panic", w)
+				}
+			}()
+			New(1).Choose(w)
+		}()
+	}
+}
+
+func TestZipf(t *testing.T) {
+	r := New(71)
+	z := r.NewZipf(1.0, 10)
+	counts := make([]int, 11)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		rank := z.Rank()
+		if rank < 1 || rank > 10 {
+			t.Fatalf("rank %d out of range", rank)
+		}
+		counts[rank]++
+	}
+	// Monotone decreasing frequency, and rank 1 ≈ 2x rank 2 for s=1.
+	for i := 2; i <= 10; i++ {
+		if counts[i] > counts[i-1]+n/100 {
+			t.Fatalf("rank %d (%d) more popular than rank %d (%d)", i, counts[i], i-1, counts[i-1])
+		}
+	}
+	ratio := float64(counts[1]) / float64(counts[2])
+	if math.Abs(ratio-2) > 0.2 {
+		t.Fatalf("rank1/rank2 = %v, want ~2 for s=1", ratio)
+	}
+	// s=0 is uniform.
+	u := New(73).NewZipf(0, 4)
+	uc := make([]int, 5)
+	for i := 0; i < 40000; i++ {
+		uc[u.Rank()]++
+	}
+	for rank := 1; rank <= 4; rank++ {
+		if math.Abs(float64(uc[rank])/10000-1) > 0.05 {
+			t.Fatalf("s=0 rank %d frequency %d not uniform", rank, uc[rank])
+		}
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	r := New(1)
+	for i, f := range []func(){
+		func() { r.NewZipf(1, 0) },
+		func() { r.NewZipf(-1, 5) },
+		func() { r.NewZipf(math.NaN(), 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: Uint64n(n) < n for all n > 0.
+func TestQuickUint64nInRange(t *testing.T) {
+	r := New(61)
+	f := func(n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		return r.Uint64n(n) < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: streams derived with the same key from equal-seed parents agree.
+func TestQuickSubReproducible(t *testing.T) {
+	f := func(seed, key uint64) bool {
+		a := New(seed).Sub(key)
+		b := New(seed).Sub(key)
+		for i := 0; i < 8; i++ {
+			if a.Uint64() != b.Uint64() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: shuffling preserves the multiset of elements.
+func TestQuickShufflePreservesElements(t *testing.T) {
+	r := New(67)
+	f := func(xs []int) bool {
+		orig := make(map[int]int)
+		for _, x := range xs {
+			orig[x]++
+		}
+		cp := append([]int(nil), xs...)
+		r.Shuffle(len(cp), func(i, j int) { cp[i], cp[j] = cp[j], cp[i] })
+		got := make(map[int]int)
+		for _, x := range cp {
+			got[x]++
+		}
+		if len(orig) != len(got) {
+			return false
+		}
+		for k, v := range orig {
+			if got[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkFloat64(b *testing.B) {
+	r := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.Float64()
+	}
+}
+
+func BenchmarkSub(b *testing.B) {
+	r := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.Sub(uint64(i))
+	}
+}

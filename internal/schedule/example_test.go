@@ -1,0 +1,33 @@
+package schedule_test
+
+import (
+	"fmt"
+
+	"ldcflood/internal/schedule"
+)
+
+// The paper's normalized low-duty-cycle model: one active slot per period.
+// A sender uses NextActive to find the receiver's wake-up (local
+// synchronization) and SleepLatency to see what the wait costs.
+func ExampleSchedule() {
+	s := schedule.NewSingleSlot(20, 7) // 5% duty, awake at slot 7 of 20
+	fmt.Println("duty:", s.DutyRatio())
+	fmt.Println("awake at 7:", s.IsActive(7))
+	fmt.Println("next wake after 10:", s.NextActive(10))
+	fmt.Println("sleep latency at 10:", s.SleepLatency(10))
+	// Output:
+	// duty: 0.05
+	// awake at 7: true
+	// next wake after 10: 27
+	// sleep latency at 10: 17
+}
+
+// PeriodForDuty converts a target duty ratio into the single-active-slot
+// period realizing it.
+func ExamplePeriodForDuty() {
+	fmt.Println(schedule.PeriodForDuty(0.05))
+	fmt.Println(schedule.PeriodForDuty(0.02))
+	// Output:
+	// 20
+	// 50
+}

@@ -1,0 +1,311 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"ldcflood/internal/rngutil"
+	"ldcflood/internal/schedule"
+)
+
+// Run executes one simulation until every packet reaches the coverage
+// target or the slot horizon expires. Runs are bit-for-bit reproducible for
+// a given Config (including Seed).
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	interval := cfg.InjectInterval
+	if interval == 0 {
+		interval = 1
+	}
+	coverage := cfg.Coverage
+	if coverage == 0 {
+		coverage = 0.99
+	}
+	n := cfg.Graph.N()
+	coverNodes := int(coverage*float64(n) + 0.999999)
+	if coverNodes < 1 {
+		coverNodes = 1
+	}
+	if coverNodes > n {
+		coverNodes = n
+	}
+	maxPeriod := 1
+	for _, s := range cfg.Schedules {
+		if s.Period() > maxPeriod {
+			maxPeriod = s.Period()
+		}
+	}
+	maxSlots := cfg.MaxSlots
+	if maxSlots <= 0 {
+		// Worst case ~ M injections, each needing O(diameter) hops at
+		// O(period / PRR) slots per hop; pad generously.
+		maxSlots = int64(maxPeriod) * int64(cfg.M+n+100) * 40
+	}
+
+	root := rngutil.New(cfg.Seed)
+	lossRNG := root.SubName("loss")
+	syncRNG := root.SubName("sync")
+
+	// The engine owns a copy of the schedule table so an Adapt hook can
+	// swap entries without mutating the caller's slice.
+	scheds := append([]*schedule.Schedule(nil), cfg.Schedules...)
+	w := &World{
+		Graph:          cfg.Graph,
+		Schedules:      scheds,
+		M:              cfg.M,
+		InjectInterval: interval,
+		ProtoRNG:       root.SubName("protocol"),
+		has:            make([][]bool, cfg.M),
+		recvTime:       make([][]int64, cfg.M),
+		count:          make([]int, cfg.M),
+		awake:          make([]bool, n),
+		transmitting:   make([]bool, n),
+	}
+	for p := range w.has {
+		w.has[p] = make([]bool, n)
+		w.recvTime[p] = make([]int64, n)
+		for i := range w.recvTime[p] {
+			w.recvTime[p][i] = -1
+		}
+	}
+
+	res := &Result{
+		Protocol:          cfg.Protocol.Name(),
+		M:                 cfg.M,
+		CoverNodes:        coverNodes,
+		InjectTime:        make([]int64, cfg.M),
+		CoverTime:         make([]int64, cfg.M),
+		Delay:             make([]int64, cfg.M),
+		FirstHopDelay:     make([]int64, cfg.M),
+		TxPerNode:         make([]int, n),
+		AwakeSlotsPerNode: make([]int64, n),
+	}
+	for p := 0; p < cfg.M; p++ {
+		res.InjectTime[p] = -1
+		res.CoverTime[p] = -1
+		res.Delay[p] = -1
+		res.FirstHopDelay[p] = -1
+	}
+
+	cfg.Protocol.Reset(w)
+
+	covered := 0
+	targeted := make([]bool, n)
+	receivedNow := make([]bool, n)
+	byReceiver := make(map[int][]Intent)
+
+	for t := int64(0); t < maxSlots && covered < cfg.M; t++ {
+		w.now = t
+		// Injection: packet p enters at slot p×interval.
+		for w.injected < cfg.M && t == int64(w.injected)*int64(interval) {
+			p := w.injected
+			w.injected++
+			w.deliver(p, 0, t)
+			res.InjectTime[p] = t
+			if cfg.Observer != nil {
+				cfg.Observer.OnInject(t, p)
+			}
+		}
+		// Dynamic duty-cycle control (DutyCon-style, reference [22]).
+		if cfg.Adapt != nil && t > 0 && t%cfg.AdaptEvery == 0 {
+			cfg.Adapt(w, scheds)
+			for i, s := range scheds {
+				if s == nil {
+					return nil, fmt.Errorf("sim: Adapt set a nil schedule for node %d", i)
+				}
+			}
+		}
+		// Awake set.
+		w.awakeList = w.awakeList[:0]
+		for i := 0; i < n; i++ {
+			w.awake[i] = scheds[i].IsActive(t)
+			if w.awake[i] {
+				w.awakeList = append(w.awakeList, i)
+				res.AwakeSlotsPerNode[i]++
+			}
+			w.transmitting[i] = false
+			targeted[i] = false
+			receivedNow[i] = false
+		}
+
+		intents := cfg.Protocol.Intents(w)
+		// Validate, enforce one transmission per sender, group by receiver.
+		for k := range byReceiver {
+			delete(byReceiver, k)
+		}
+		for _, in := range intents {
+			if in.From < 0 || in.From >= n || in.To < 0 || in.To >= n || in.From == in.To {
+				return nil, fmt.Errorf("sim: protocol %s produced invalid intent %+v", cfg.Protocol.Name(), in)
+			}
+			if in.Packet < 0 || in.Packet >= w.injected {
+				return nil, fmt.Errorf("sim: intent for uninjected packet %d", in.Packet)
+			}
+			if !w.has[in.Packet][in.From] {
+				return nil, fmt.Errorf("sim: node %d does not hold packet %d", in.From, in.Packet)
+			}
+			if !cfg.Graph.HasLink(in.From, in.To) {
+				return nil, fmt.Errorf("sim: intent over non-link %d-%d", in.From, in.To)
+			}
+			if !w.awake[in.To] {
+				return nil, fmt.Errorf("sim: intent to dormant node %d", in.To)
+			}
+			if w.transmitting[in.From] {
+				continue // one transmission per sender per slot
+			}
+			if w.has[in.Packet][in.To] {
+				continue // receiver already has it; drop silently
+			}
+			w.transmitting[in.From] = true
+			if cfg.SyncErrorProb > 0 && syncRNG.Bool(cfg.SyncErrorProb) {
+				// Local-synchronization miss: the sender fires at the
+				// wrong slot and nobody is listening.
+				res.Transmissions++
+				res.TxPerNode[in.From]++
+				res.SyncFailures++
+				if cfg.Observer != nil {
+					cfg.Observer.OnTransmit(t, in.From, in.To, in.Packet, TxSync)
+				}
+				continue
+			}
+			byReceiver[in.To] = append(byReceiver[in.To], in)
+		}
+		receivers := make([]int, 0, len(byReceiver))
+		for r := range byReceiver {
+			receivers = append(receivers, r)
+		}
+		sort.Ints(receivers)
+
+		type success struct{ from, to, packet int }
+		var successes []success
+		for _, r := range receivers {
+			txs := byReceiver[r]
+			res.Transmissions += len(txs)
+			for _, tx := range txs {
+				res.TxPerNode[tx.From]++
+			}
+			targeted[r] = true
+			switch {
+			case w.transmitting[r]:
+				// Semi-duplex: a transmitting node cannot receive.
+				res.BusyFailures += len(txs)
+				if cfg.Observer != nil {
+					for _, tx := range txs {
+						cfg.Observer.OnTransmit(t, tx.From, r, tx.Packet, TxBusy)
+					}
+				}
+			case len(txs) > 1 && cfg.Protocol.CollisionsApply():
+				// Capture effect: the strongest signal may survive the
+				// collision (reference [17]'s flash-flooding mechanism).
+				captured := false
+				if cfg.CaptureProb > 0 && lossRNG.Bool(cfg.CaptureProb) {
+					best := txs[0]
+					for _, tx := range txs[1:] {
+						if cfg.Graph.PRR(tx.From, r) > cfg.Graph.PRR(best.From, r) {
+							best = tx
+						}
+					}
+					if lossRNG.Bool(cfg.Graph.PRR(best.From, r)) {
+						captured = true
+						res.Captures++
+						w.deliver(best.Packet, r, t)
+						receivedNow[r] = true
+						successes = append(successes, success{best.From, r, best.Packet})
+						res.CollisionFailures += len(txs) - 1
+						if cfg.Observer != nil {
+							for _, tx := range txs {
+								outcome := TxCollision
+								if tx == best {
+									outcome = TxSuccess
+								}
+								cfg.Observer.OnTransmit(t, tx.From, r, tx.Packet, outcome)
+							}
+						}
+					}
+				}
+				if !captured {
+					res.CollisionFailures += len(txs)
+					if cfg.Observer != nil {
+						for _, tx := range txs {
+							cfg.Observer.OnTransmit(t, tx.From, r, tx.Packet, TxCollision)
+						}
+					}
+				}
+			default:
+				// Attempt in order until one succeeds; the rest of an
+				// oracle's redundant transmissions are counted as losses.
+				got := false
+				for _, tx := range txs {
+					if got {
+						res.LossFailures++
+						if cfg.Observer != nil {
+							cfg.Observer.OnTransmit(t, tx.From, r, tx.Packet, TxRedundant)
+						}
+						continue
+					}
+					if lossRNG.Bool(cfg.Graph.PRR(tx.From, tx.To)) {
+						got = true
+						w.deliver(tx.Packet, r, t)
+						receivedNow[r] = true
+						successes = append(successes, success{tx.From, r, tx.Packet})
+						if cfg.Observer != nil {
+							cfg.Observer.OnTransmit(t, tx.From, r, tx.Packet, TxSuccess)
+						}
+					} else {
+						res.LossFailures++
+						if cfg.Observer != nil {
+							cfg.Observer.OnTransmit(t, tx.From, r, tx.Packet, TxLoss)
+						}
+					}
+				}
+			}
+		}
+		// Overhearing: awake, silent, non-targeted neighbors of successful
+		// senders may pick the packet up for free.
+		if cfg.Protocol.Overhears() {
+			for _, s := range successes {
+				for _, l := range cfg.Graph.Neighbors(s.from) {
+					o := l.To
+					if o == s.to || !w.awake[o] || w.transmitting[o] || targeted[o] || receivedNow[o] {
+						continue
+					}
+					if w.has[s.packet][o] {
+						continue
+					}
+					if lossRNG.Bool(l.PRR) {
+						w.deliver(s.packet, o, t)
+						receivedNow[o] = true
+						res.Overheard++
+						if cfg.Observer != nil {
+							cfg.Observer.OnOverhear(t, s.from, o, s.packet)
+						}
+					}
+				}
+			}
+		}
+		// Coverage accounting.
+		for p := 0; p < w.injected; p++ {
+			if res.CoverTime[p] == -1 && w.count[p] >= coverNodes {
+				res.CoverTime[p] = t
+				res.Delay[p] = t - res.InjectTime[p]
+				covered++
+				if cfg.Observer != nil {
+					cfg.Observer.OnCovered(t, p)
+				}
+			}
+			if res.FirstHopDelay[p] == -1 && w.count[p] >= 2 {
+				res.FirstHopDelay[p] = t - res.InjectTime[p]
+			}
+		}
+		res.TotalSlots = t + 1
+	}
+	res.Completed = covered == cfg.M
+	if cfg.RecordReceptions {
+		res.NodeRecvTime = make([][]int64, cfg.M)
+		for p := range res.NodeRecvTime {
+			res.NodeRecvTime[p] = append([]int64(nil), w.recvTime[p]...)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,405 @@
+// Package sim is the slotted discrete-event simulator implementing the
+// network model of Section III: periodic working schedules, semi-duplex
+// radios, unreliable links with Bernoulli loss, FCFS packet queues, and
+// flooding realized as a series of unicasts. Flooding protocols (package
+// flood) plug in through the Protocol interface; the engine owns slot
+// mechanics, collision and loss resolution, overhearing, and metrics.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"ldcflood/internal/rngutil"
+	"ldcflood/internal/schedule"
+	"ldcflood/internal/topology"
+)
+
+// World is the simulation state visible to protocols. Protocols must treat
+// it as read-only except through their returned intents.
+type World struct {
+	Graph     *topology.Graph
+	Schedules []*schedule.Schedule
+	// M is the total number of packets the source will inject.
+	M int
+	// InjectInterval is the number of slots between injections.
+	InjectInterval int
+	// ProtoRNG is a dedicated random stream for protocol-internal decisions
+	// (e.g. OF's probabilistic forwarding), split from the run seed.
+	ProtoRNG *rngutil.Stream
+
+	has      [][]bool  // has[p][node]
+	recvTime [][]int64 // recvTime[p][node]; -1 if not received
+	count    []int     // count[p]: nodes currently holding p
+	injected int       // packets injected so far
+	now      int64
+
+	awake        []bool
+	awakeList    []int
+	transmitting []bool
+}
+
+// Now returns the current slot.
+func (w *World) Now() int64 { return w.now }
+
+// Injected returns how many packets have been injected so far.
+func (w *World) Injected() int { return w.injected }
+
+// InjectSlot returns the slot at which packet p is (or will be) injected.
+func (w *World) InjectSlot(p int) int64 { return int64(p) * int64(w.InjectInterval) }
+
+// Has reports whether node holds packet p.
+func (w *World) Has(p, node int) bool { return w.has[p][node] }
+
+// RecvTime returns the slot at which node received packet p, or -1.
+func (w *World) RecvTime(p, node int) int64 { return w.recvTime[p][node] }
+
+// Count returns the number of nodes currently holding packet p.
+func (w *World) Count(p int) int { return w.count[p] }
+
+// IsAwake reports whether node is in its active slot right now.
+func (w *World) IsAwake(node int) bool { return w.awake[node] }
+
+// AwakeList returns the nodes awake this slot, ascending. The slice is
+// owned by the engine; do not modify or retain it.
+func (w *World) AwakeList() []int { return w.awakeList }
+
+// IsTransmitting reports whether node has already been assigned a
+// transmission this slot.
+func (w *World) IsTransmitting(node int) bool { return w.transmitting[node] }
+
+// NeedsAnything reports whether node is missing any injected packet.
+func (w *World) NeedsAnything(node int) bool {
+	for p := 0; p < w.injected; p++ {
+		if !w.has[p][node] {
+			return true
+		}
+	}
+	return false
+}
+
+// OldestNeeded returns the packet that sender should forward to receiver
+// under the FCFS relay policy: among the injected packets sender holds and
+// receiver lacks, the one sender received earliest (ties to the smaller
+// packet index). It returns -1 if there is no such packet.
+func (w *World) OldestNeeded(sender, receiver int) int {
+	best := -1
+	var bestTime int64 = math.MaxInt64
+	for p := 0; p < w.injected; p++ {
+		if !w.has[p][sender] || w.has[p][receiver] {
+			continue
+		}
+		rt := w.recvTime[p][sender]
+		if rt < bestTime {
+			best, bestTime = p, rt
+		}
+	}
+	return best
+}
+
+// HoldersOf returns receiver's neighbors currently holding at least one
+// packet receiver lacks, in adjacency order.
+func (w *World) HoldersOf(receiver int) []topology.Link {
+	var out []topology.Link
+	for _, l := range w.Graph.Neighbors(receiver) {
+		if w.OldestNeeded(l.To, receiver) >= 0 {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+func (w *World) deliver(p, node int, t int64) bool {
+	if w.has[p][node] {
+		return false
+	}
+	w.has[p][node] = true
+	w.recvTime[p][node] = t
+	w.count[p]++
+	return true
+}
+
+// Intent is a protocol's request that From unicast Packet to To this slot.
+type Intent struct {
+	From, To, Packet int
+}
+
+// Protocol is a flooding strategy plugged into the engine.
+type Protocol interface {
+	// Name identifies the protocol in results ("OPT", "DBAO", "OF", ...).
+	Name() string
+	// Reset prepares protocol state for a fresh run over the given world.
+	Reset(w *World)
+	// Intents returns this slot's transmission requests. The engine
+	// validates them (sender holds the packet, link exists, receiver is
+	// awake and lacks the packet) and enforces one transmission per sender.
+	Intents(w *World) []Intent
+	// CollisionsApply reports whether simultaneous transmissions to one
+	// receiver destroy each other. The OPT oracle returns false.
+	CollisionsApply() bool
+	// Overhears reports whether non-targeted awake neighbors of a
+	// successful sender may also receive the packet (DBAO's mechanism).
+	Overhears() bool
+}
+
+// TxOutcome classifies what happened to one transmission attempt.
+type TxOutcome int
+
+// Transmission outcomes reported to an Observer.
+const (
+	// TxSuccess: the receiver decoded the packet.
+	TxSuccess TxOutcome = iota
+	// TxLoss: the link dropped the packet (Bernoulli loss).
+	TxLoss
+	// TxCollision: simultaneous transmissions destroyed each other.
+	TxCollision
+	// TxBusy: the receiver was itself transmitting (semi-duplex).
+	TxBusy
+	// TxRedundant: the receiver had already decoded the packet this slot
+	// from another (oracle-mode) sender.
+	TxRedundant
+	// TxSync: the sender mis-estimated the receiver's wake slot (local
+	// synchronization error) and transmitted into silence.
+	TxSync
+)
+
+// String implements fmt.Stringer.
+func (o TxOutcome) String() string {
+	switch o {
+	case TxSuccess:
+		return "success"
+	case TxLoss:
+		return "loss"
+	case TxCollision:
+		return "collision"
+	case TxBusy:
+		return "busy"
+	case TxRedundant:
+		return "redundant"
+	case TxSync:
+		return "sync-miss"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// Observer receives engine events; attach one via Config.Observer for
+// tracing, debugging or custom metrics. Methods are called synchronously
+// from the engine loop in deterministic order.
+type Observer interface {
+	// OnInject fires when the source generates a packet.
+	OnInject(t int64, packet int)
+	// OnTransmit fires for every transmission attempt with its outcome.
+	OnTransmit(t int64, from, to, packet int, outcome TxOutcome)
+	// OnOverhear fires when a non-targeted node receives a packet for free.
+	OnOverhear(t int64, from, node, packet int)
+	// OnCovered fires when a packet reaches the coverage target.
+	OnCovered(t int64, packet int)
+}
+
+// FuncProtocol adapts plain functions to the Protocol interface, for quick
+// experiments and tests that don't warrant a named type. Nil hooks default
+// to no-ops (and no intents).
+type FuncProtocol struct {
+	// ProtocolName is reported by Name (default "func").
+	ProtocolName string
+	// ResetFunc is called once per run before the first slot.
+	ResetFunc func(w *World)
+	// IntentsFunc produces the per-slot transmissions.
+	IntentsFunc func(w *World) []Intent
+	// Collisions and Overhearing configure the engine's resolution rules.
+	Collisions  bool
+	Overhearing bool
+}
+
+// Name implements Protocol.
+func (f *FuncProtocol) Name() string {
+	if f.ProtocolName == "" {
+		return "func"
+	}
+	return f.ProtocolName
+}
+
+// Reset implements Protocol.
+func (f *FuncProtocol) Reset(w *World) {
+	if f.ResetFunc != nil {
+		f.ResetFunc(w)
+	}
+}
+
+// Intents implements Protocol.
+func (f *FuncProtocol) Intents(w *World) []Intent {
+	if f.IntentsFunc == nil {
+		return nil
+	}
+	return f.IntentsFunc(w)
+}
+
+// CollisionsApply implements Protocol.
+func (f *FuncProtocol) CollisionsApply() bool { return f.Collisions }
+
+// Overhears implements Protocol.
+func (f *FuncProtocol) Overhears() bool { return f.Overhearing }
+
+var _ Protocol = (*FuncProtocol)(nil)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	Graph     *topology.Graph
+	Schedules []*schedule.Schedule
+	Protocol  Protocol
+	// M is the number of packets flooded (paper default: 100).
+	M int
+	// InjectInterval is the slot spacing between injections (default 1).
+	InjectInterval int
+	// Coverage is the delivery-ratio target defining "flooding delay"
+	// (paper: 0.99, excluding the worst-connected sensors).
+	Coverage float64
+	// MaxSlots caps the run; 0 derives a generous default.
+	MaxSlots int64
+	// Seed drives all randomness (link loss and protocol decisions).
+	Seed uint64
+	// Observer, when non-nil, receives every engine event.
+	Observer Observer
+	// RecordReceptions copies the full per-node reception-time matrix into
+	// Result.NodeRecvTime (M×N int64s) for per-node delay-distribution
+	// analysis.
+	RecordReceptions bool
+	// SyncErrorProb models imperfect local synchronization (Section III-B
+	// assumes it is perfect): with this probability, a transmission is
+	// fired at a mis-estimated wake slot and reaches nobody, wasting the
+	// sender's slot. Must be in [0, 1).
+	SyncErrorProb float64
+	// CaptureProb models the capture effect (Lu & Whitehouse, INFOCOM'09,
+	// the paper's reference [17]): when several transmissions collide at a
+	// receiver, the strongest one (highest PRR as the signal-strength
+	// proxy) is decoded anyway with this probability instead of everything
+	// being destroyed. 0 (default) disables capture; must be in [0, 1].
+	CaptureProb float64
+	// Adapt, when non-nil, is invoked every AdaptEvery slots with the
+	// engine's live schedule table; it may replace entries to change
+	// nodes' duty cycles mid-run (dynamic duty-cycle control in the style
+	// of DutyCon, the paper's reference [22]). Entries must remain
+	// non-nil.
+	Adapt func(w *World, schedules []*schedule.Schedule)
+	// AdaptEvery is the adaptation epoch in slots; required > 0 when Adapt
+	// is set.
+	AdaptEvery int64
+}
+
+func (c *Config) validate() error {
+	if c.Graph == nil {
+		return fmt.Errorf("sim: nil graph")
+	}
+	if len(c.Schedules) != c.Graph.N() {
+		return fmt.Errorf("sim: %d schedules for %d nodes", len(c.Schedules), c.Graph.N())
+	}
+	for i, s := range c.Schedules {
+		if s == nil {
+			return fmt.Errorf("sim: nil schedule for node %d", i)
+		}
+	}
+	if c.Protocol == nil {
+		return fmt.Errorf("sim: nil protocol")
+	}
+	if c.M < 1 {
+		return fmt.Errorf("sim: M = %d must be >= 1", c.M)
+	}
+	if c.InjectInterval < 0 {
+		return fmt.Errorf("sim: negative inject interval")
+	}
+	if c.Coverage < 0 || c.Coverage > 1 {
+		return fmt.Errorf("sim: coverage %v outside [0,1]", c.Coverage)
+	}
+	if c.SyncErrorProb < 0 || c.SyncErrorProb >= 1 {
+		return fmt.Errorf("sim: sync error probability %v outside [0,1)", c.SyncErrorProb)
+	}
+	if c.CaptureProb < 0 || c.CaptureProb > 1 {
+		return fmt.Errorf("sim: capture probability %v outside [0,1]", c.CaptureProb)
+	}
+	if c.Adapt != nil && c.AdaptEvery <= 0 {
+		return fmt.Errorf("sim: Adapt requires AdaptEvery > 0")
+	}
+	return nil
+}
+
+// Result captures a run's metrics.
+type Result struct {
+	Protocol string
+	M        int
+	// CoverNodes is the node count that defines packet completion
+	// (⌈coverage × N⌉, where N includes the source).
+	CoverNodes int
+	// InjectTime[p] is the slot at which packet p entered the network.
+	InjectTime []int64
+	// CoverTime[p] is the slot at which packet p reached CoverNodes nodes,
+	// or -1 if it never did within the horizon.
+	CoverTime []int64
+	// Delay[p] = CoverTime[p] - InjectTime[p] (the paper's flooding delay),
+	// or -1 for uncovered packets.
+	Delay []int64
+	// FirstHopDelay[p] is the delay until the packet left the source (the
+	// transmission-delay component separated in Fig. 9), or -1.
+	FirstHopDelay []int64
+
+	Transmissions     int
+	LossFailures      int
+	CollisionFailures int
+	BusyFailures      int
+	SyncFailures      int
+	Overheard         int
+	// Captures counts collisions salvaged by the capture effect.
+	Captures  int
+	TxPerNode []int
+	// AwakeSlotsPerNode counts each node's scheduled active slots over the
+	// run — the radio-on time that dominates its energy budget. Slots spent
+	// transmitting outside the node's own schedule are counted in
+	// TxPerNode, not here.
+	AwakeSlotsPerNode []int64
+
+	TotalSlots int64
+	Completed  bool
+
+	// NodeRecvTime[p][node] is the slot at which node received packet p
+	// (-1 if never). Populated only when Config.RecordReceptions is set.
+	NodeRecvTime [][]int64
+}
+
+// NodeDelays returns the per-node reception delays of packet p (reception
+// slot minus injection slot), excluding nodes that never received it. It
+// requires RecordReceptions; otherwise it returns nil.
+func (r *Result) NodeDelays(p int) []int64 {
+	if r.NodeRecvTime == nil || p < 0 || p >= len(r.NodeRecvTime) {
+		return nil
+	}
+	var out []int64
+	for _, rt := range r.NodeRecvTime[p] {
+		if rt >= 0 {
+			out = append(out, rt-r.InjectTime[p])
+		}
+	}
+	return out
+}
+
+// Failures returns the total transmission failures (the Fig. 11 metric):
+// link losses plus collisions plus transmissions wasted on a busy
+// (transmitting) receiver plus synchronization misses.
+func (r *Result) Failures() int {
+	return r.LossFailures + r.CollisionFailures + r.BusyFailures + r.SyncFailures
+}
+
+// MeanDelay returns the average per-packet flooding delay in slots over
+// covered packets, or NaN if none were covered.
+func (r *Result) MeanDelay() float64 {
+	sum, n := 0.0, 0
+	for _, d := range r.Delay {
+		if d >= 0 {
+			sum += float64(d)
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// MannWhitneyResult reports the two-sided Mann-Whitney U test.
+type MannWhitneyResult struct {
+	// U is the test statistic (min of U1, U2).
+	U float64
+	// Z is the normal-approximation z-score with tie correction.
+	Z float64
+	// P is the two-sided p-value from the normal approximation (valid for
+	// sample sizes ≳ 8 per group).
+	P float64
+	// Effect is the common-language effect size U1/(n1·n2): the probability
+	// that a random draw from xs exceeds a random draw from ys (ties count
+	// half).
+	Effect float64
+}
+
+// MannWhitney performs the two-sided Mann-Whitney U test (Wilcoxon
+// rank-sum) on two independent samples using the normal approximation with
+// tie correction. It answers "do xs and ys come from distributions with
+// the same location?" without assuming normality — the right tool for
+// comparing per-packet flooding-delay distributions between protocols.
+// It returns an error if either sample has fewer than 2 observations or
+// all observations are identical.
+func MannWhitney(xs, ys []float64) (MannWhitneyResult, error) {
+	n1, n2 := len(xs), len(ys)
+	if n1 < 2 || n2 < 2 {
+		return MannWhitneyResult{}, fmt.Errorf("stats: MannWhitney needs >= 2 observations per group (got %d, %d)", n1, n2)
+	}
+	type obs struct {
+		v     float64
+		group int
+	}
+	all := make([]obs, 0, n1+n2)
+	for _, v := range xs {
+		if math.IsNaN(v) {
+			return MannWhitneyResult{}, fmt.Errorf("stats: MannWhitney got NaN")
+		}
+		all = append(all, obs{v, 0})
+	}
+	for _, v := range ys {
+		if math.IsNaN(v) {
+			return MannWhitneyResult{}, fmt.Errorf("stats: MannWhitney got NaN")
+		}
+		all = append(all, obs{v, 1})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	// Midranks with tie groups.
+	n := len(all)
+	ranks := make([]float64, n)
+	tieCorrection := 0.0
+	for i := 0; i < n; {
+		j := i
+		for j < n && all[j].v == all[i].v {
+			j++
+		}
+		mid := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[k] = mid
+		}
+		t := float64(j - i)
+		tieCorrection += t*t*t - t
+		i = j
+	}
+	r1 := 0.0
+	for i, o := range all {
+		if o.group == 0 {
+			r1 += ranks[i]
+		}
+	}
+	fn1, fn2 := float64(n1), float64(n2)
+	u1 := r1 - fn1*(fn1+1)/2
+	u2 := fn1*fn2 - u1
+	u := math.Min(u1, u2)
+
+	mean := fn1 * fn2 / 2
+	fn := fn1 + fn2
+	variance := fn1 * fn2 / 12 * ((fn + 1) - tieCorrection/(fn*(fn-1)))
+	if variance <= 0 {
+		return MannWhitneyResult{}, fmt.Errorf("stats: MannWhitney degenerate (all observations tied)")
+	}
+	// Continuity-corrected z.
+	z := (u1 - mean)
+	switch {
+	case z > 0.5:
+		z -= 0.5
+	case z < -0.5:
+		z += 0.5
+	default:
+		z = 0
+	}
+	z /= math.Sqrt(variance)
+	p := 2 * normalTail(math.Abs(z))
+	if p > 1 {
+		p = 1
+	}
+	return MannWhitneyResult{
+		U:      u,
+		Z:      z,
+		P:      p,
+		Effect: u1 / (fn1 * fn2),
+	}, nil
+}
+
+// normalTail returns P(Z > z) for the standard normal.
+func normalTail(z float64) float64 {
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}

@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"ldcflood/internal/rngutil"
+)
+
+func TestMannWhitneyErrors(t *testing.T) {
+	if _, err := MannWhitney([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("tiny sample accepted")
+	}
+	if _, err := MannWhitney([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("tiny sample accepted")
+	}
+	if _, err := MannWhitney([]float64{1, math.NaN()}, []float64{1, 2}); err == nil {
+		t.Fatal("NaN accepted")
+	}
+	if _, err := MannWhitney([]float64{3, 3, 3}, []float64{3, 3, 3}); err == nil {
+		t.Fatal("all-tied samples accepted")
+	}
+}
+
+func TestMannWhitneyIdenticalDistributions(t *testing.T) {
+	r := rngutil.New(1)
+	xs := make([]float64, 200)
+	ys := make([]float64, 200)
+	for i := range xs {
+		xs[i] = r.NormMeanStd(5, 1)
+		ys[i] = r.NormMeanStd(5, 1)
+	}
+	res, err := MannWhitney(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P < 0.01 {
+		t.Fatalf("identical distributions flagged significant: p=%v", res.P)
+	}
+	if math.Abs(res.Effect-0.5) > 0.1 {
+		t.Fatalf("effect size %v far from 0.5", res.Effect)
+	}
+}
+
+func TestMannWhitneyShiftedDistributions(t *testing.T) {
+	r := rngutil.New(2)
+	xs := make([]float64, 100)
+	ys := make([]float64, 100)
+	for i := range xs {
+		xs[i] = r.NormMeanStd(5, 1)
+		ys[i] = r.NormMeanStd(6, 1) // clearly shifted
+	}
+	res, err := MannWhitney(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P > 1e-6 {
+		t.Fatalf("clear shift not detected: p=%v", res.P)
+	}
+	// xs < ys, so P(x > y) well below 0.5.
+	if res.Effect > 0.35 {
+		t.Fatalf("effect size %v should be well below 0.5", res.Effect)
+	}
+}
+
+func TestMannWhitneyHandlesTies(t *testing.T) {
+	// Heavily tied integer data with a real shift.
+	xs := []float64{1, 1, 2, 2, 2, 3, 3, 3, 3, 2, 1, 2, 3, 2}
+	ys := []float64{3, 3, 4, 4, 4, 5, 5, 3, 4, 5, 4, 4, 3, 4}
+	res, err := MannWhitney(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P > 0.01 {
+		t.Fatalf("tied-but-shifted samples not significant: p=%v", res.P)
+	}
+}
+
+func TestMannWhitneySymmetric(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 9}
+	ys := []float64{5, 6, 7, 8, 10}
+	a, err := MannWhitney(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MannWhitney(ys, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.P-b.P) > 1e-12 || a.U != b.U {
+		t.Fatalf("test not symmetric: %+v vs %+v", a, b)
+	}
+	if math.Abs(a.Effect+b.Effect-1) > 1e-12 {
+		t.Fatalf("effects should sum to 1: %v + %v", a.Effect, b.Effect)
+	}
+}
+
+func TestMannWhitneyKnownValue(t *testing.T) {
+	// Hand-computed tiny example: xs ranks 1,2,3,4 vs ys ranks 5,6,7,8:
+	// U1 = 0, U2 = 16, U = 0 — complete separation.
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{10, 20, 30, 40}
+	res, err := MannWhitney(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.U != 0 {
+		t.Fatalf("U = %v, want 0", res.U)
+	}
+	if res.Effect != 0 {
+		t.Fatalf("effect = %v, want 0", res.Effect)
+	}
+}
+
+func TestNormalTail(t *testing.T) {
+	// P(Z > 0) = 0.5; P(Z > 1.96) ≈ 0.025.
+	if math.Abs(normalTail(0)-0.5) > 1e-12 {
+		t.Fatal("normalTail(0) wrong")
+	}
+	if math.Abs(normalTail(1.96)-0.025) > 0.001 {
+		t.Fatalf("normalTail(1.96) = %v", normalTail(1.96))
+	}
+}

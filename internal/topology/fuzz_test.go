@@ -1,0 +1,70 @@
+package topology
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// FuzzReadText asserts the trace parser never panics, and that anything it
+// accepts round-trips through WriteText to an equivalent graph.
+func FuzzReadText(f *testing.F) {
+	f.Add("graph g 3\nlink 0 1 0.5\nlink 1 2 0.9\n")
+	f.Add("graph g 2\nnode 0 1.5 2.5\nnode 1 0 0\nlink 0 1 1\n")
+	f.Add("# comment\n\ngraph x 1\n")
+	f.Add("link 0 1 0.5")
+	f.Add("graph g -1")
+	f.Add("graph g 2\nlink 0 1 2.0\n")
+	f.Add("graph g 2\nnode 9 0 0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadText(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := g.WriteText(&buf); err != nil {
+			t.Fatalf("rewrite failed: %v", err)
+		}
+		back, err := ReadText(&buf)
+		if err != nil {
+			t.Fatalf("round-trip parse failed: %v\noriginal input: %q", err, input)
+		}
+		if back.N() != g.N() || back.NumLinks() != g.NumLinks() {
+			t.Fatalf("round trip changed shape: %v vs %v", back, g)
+		}
+	})
+}
+
+// FuzzUnmarshalJSON asserts the JSON decoder never panics and that accepted
+// graphs validate and survive a marshal/unmarshal cycle.
+func FuzzUnmarshalJSON(f *testing.F) {
+	f.Add(`{"nodes":3,"edges":[{"u":0,"v":1,"prr":0.5}]}`)
+	f.Add(`{"nodes":2,"pos":[[0,0],[3,4]],"edges":[{"u":0,"v":1,"prr":1}]}`)
+	f.Add(`{"nodes":0,"edges":[]}`)
+	f.Add(`{"nodes":2,"edges":[{"u":0,"v":0,"prr":0.5}]}`)
+	f.Add(`garbage`)
+	f.Fuzz(func(t *testing.T, input string) {
+		var g Graph
+		if err := json.Unmarshal([]byte(input), &g); err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v", err)
+		}
+		data, err := json.Marshal(&g)
+		if err != nil {
+			t.Fatalf("remarshal failed: %v", err)
+		}
+		var back Graph
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("round-trip failed: %v", err)
+		}
+		if back.N() != g.N() || back.NumLinks() != g.NumLinks() {
+			t.Fatal("round trip changed shape")
+		}
+	})
+}

@@ -1,0 +1,417 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+
+	"ldcflood/internal/rngutil"
+)
+
+// GreenOrbsNodes is the node count of the GreenOrbs deployment trace used
+// throughout the paper's evaluation (Section V-B).
+const GreenOrbsNodes = 298
+
+// GreenOrbsConfig parameterizes the synthetic GreenOrbs-like topology.
+// The defaults (DefaultGreenOrbsConfig) are calibrated so the aggregate
+// features the paper's evaluation depends on — node count, mean degree,
+// PRR spread with a lossy tail, and a multi-hop diameter — match what the
+// GreenOrbs system papers report for the forest deployment.
+type GreenOrbsConfig struct {
+	Nodes     int        // number of sensors including the source (node 0)
+	FieldX    float64    // field width, meters
+	FieldY    float64    // field height, meters
+	Clusters  int        // number of dense clusters (forest plots)
+	ClusterR  float64    // cluster scatter radius, meters
+	Uniform   float64    // fraction of nodes placed uniformly instead of clustered
+	Radio     RadioModel // propagation model
+	MinPRR    float64    // links with expected PRR below this are dropped
+	MaxPRR    float64    // ceiling on link PRR (real radios never reach 1), 0 = uncapped
+	MaxDegree int        // cap on neighbor count (densest regions), 0 = uncapped
+}
+
+// DefaultGreenOrbsConfig returns the calibrated defaults.
+func DefaultGreenOrbsConfig() GreenOrbsConfig {
+	return GreenOrbsConfig{
+		Nodes:     GreenOrbsNodes,
+		FieldX:    130,
+		FieldY:    130,
+		Clusters:  9,
+		ClusterR:  18,
+		Uniform:   0.35,
+		Radio:     ForestRadio(),
+		MinPRR:    0.10,
+		MaxPRR:    0.95,
+		MaxDegree: 0,
+	}
+}
+
+// GreenOrbs builds the synthetic 298-node GreenOrbs-like trace with default
+// calibration. The same seed always yields the same topology.
+func GreenOrbs(seed uint64) *Graph {
+	g, err := GenerateGreenOrbs(DefaultGreenOrbsConfig(), seed)
+	if err != nil {
+		// The default configuration is tested to always succeed.
+		panic("topology: default GreenOrbs generation failed: " + err.Error())
+	}
+	return g
+}
+
+// GenerateGreenOrbs builds a synthetic forest topology per cfg. The result
+// is always connected (bridging links are added between components if the
+// radio draw leaves the graph split). An error is returned for invalid
+// configuration.
+func GenerateGreenOrbs(cfg GreenOrbsConfig, seed uint64) (*Graph, error) {
+	if cfg.Nodes < 2 {
+		return nil, fmt.Errorf("topology: GreenOrbs needs >= 2 nodes, got %d", cfg.Nodes)
+	}
+	if cfg.FieldX <= 0 || cfg.FieldY <= 0 {
+		return nil, fmt.Errorf("topology: non-positive field %vx%v", cfg.FieldX, cfg.FieldY)
+	}
+	if cfg.MinPRR <= 0 || cfg.MinPRR >= 1 {
+		return nil, fmt.Errorf("topology: MinPRR %v outside (0,1)", cfg.MinPRR)
+	}
+	if cfg.Clusters < 1 {
+		return nil, fmt.Errorf("topology: need >= 1 cluster")
+	}
+	root := rngutil.New(seed)
+	posRNG := root.SubName("positions")
+	shadowRNG := root.SubName("shadowing")
+
+	g := New(cfg.Nodes)
+	g.Name = fmt.Sprintf("greenorbs-synthetic(seed=%d)", seed)
+	g.Pos = make([]Point, cfg.Nodes)
+
+	// Cluster centers, kept away from the field border.
+	centers := make([]Point, cfg.Clusters)
+	for i := range centers {
+		centers[i] = Point{
+			X: cfg.FieldX * (0.12 + 0.76*posRNG.Float64()),
+			Y: cfg.FieldY * (0.12 + 0.76*posRNG.Float64()),
+		}
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		if posRNG.Float64() < cfg.Uniform {
+			g.Pos[i] = Point{X: cfg.FieldX * posRNG.Float64(), Y: cfg.FieldY * posRNG.Float64()}
+			continue
+		}
+		c := centers[posRNG.Intn(len(centers))]
+		p := Point{
+			X: c.X + posRNG.NormMeanStd(0, cfg.ClusterR),
+			Y: c.Y + posRNG.NormMeanStd(0, cfg.ClusterR),
+		}
+		p.X = clamp(p.X, 0, cfg.FieldX)
+		p.Y = clamp(p.Y, 0, cfg.FieldY)
+		g.Pos[i] = p
+	}
+
+	linkByDistance(g, cfg.Radio, cfg.MinPRR, cfg.MaxPRR, shadowRNG)
+	if cfg.MaxDegree > 0 {
+		capDegree(g, cfg.MaxDegree)
+	}
+	ensureConnected(g, cfg.Radio, cfg.MinPRR)
+	g.SortNeighbors()
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// linkByDistance adds every link whose shadowed PRR clears minPRR, clamped
+// to maxPRR when positive. Each unordered pair draws its shadowing from a
+// sub-stream keyed by the pair, so the result does not depend on iteration
+// order.
+func linkByDistance(g *Graph, radio RadioModel, minPRR, maxPRR float64, shadowRNG *rngutil.Stream) {
+	// Pairs farther than the distance where even a very lucky (-3σ) shadow
+	// draw cannot reach minPRR are skipped without consuming randomness.
+	maxDist := radio.ConnectedRange(minPRR) * math.Pow(10, 3*radio.ShadowStd/(10*radio.Exponent))
+	for u := 0; u < g.N(); u++ {
+		for v := u + 1; v < g.N(); v++ {
+			d := g.Pos[u].Dist(g.Pos[v])
+			if d > maxDist {
+				continue
+			}
+			pairRNG := shadowRNG.Sub(uint64(u)<<32 | uint64(v))
+			shadow := pairRNG.NormMeanStd(0, radio.ShadowStd)
+			prr := radio.PRR(d, shadow)
+			if prr >= minPRR {
+				if prr > 1 {
+					prr = 1
+				}
+				if maxPRR > 0 && prr > maxPRR {
+					prr = maxPRR
+				}
+				g.AddLink(u, v, prr)
+			}
+		}
+	}
+}
+
+// capDegree trims each node's adjacency to the maxDegree best links by PRR,
+// keeping symmetry: a link survives only if it is within both endpoints'
+// kept sets.
+func capDegree(g *Graph, maxDegree int) {
+	kept := make(map[[2]int]bool) // directed picks u→v
+	for u := 0; u < g.N(); u++ {
+		links := append([]Link(nil), g.Neighbors(u)...)
+		// Highest PRR first; stable on node id for determinism.
+		for i := 1; i < len(links); i++ {
+			for j := i; j > 0 && (links[j].PRR > links[j-1].PRR ||
+				(links[j].PRR == links[j-1].PRR && links[j].To < links[j-1].To)); j-- {
+				links[j], links[j-1] = links[j-1], links[j]
+			}
+		}
+		if len(links) > maxDegree {
+			links = links[:maxDegree]
+		}
+		for _, l := range links {
+			kept[[2]int{u, l.To}] = true
+		}
+	}
+	for _, e := range g.Links() {
+		if !kept[[2]int{e.U, e.V}] || !kept[[2]int{e.V, e.U}] {
+			g.RemoveLink(e.U, e.V)
+		}
+	}
+}
+
+// ensureConnected stitches components together by linking the closest
+// cross-component pair with a mid-quality link until one component remains.
+// The PRR assigned is the shadow-free model value clamped into
+// [minPRR, 0.95] so the bridge behaves like a plausible marginal link.
+func ensureConnected(g *Graph, radio RadioModel, minPRR float64) {
+	for {
+		comps := g.Components()
+		if len(comps) <= 1 {
+			return
+		}
+		// Find the globally closest pair spanning the first component and
+		// any other component.
+		compOf := make([]int, g.N())
+		for ci, comp := range comps {
+			for _, v := range comp {
+				compOf[v] = ci
+			}
+		}
+		bestU, bestV, bestD := -1, -1, math.Inf(1)
+		for _, u := range comps[0] {
+			for v := 0; v < g.N(); v++ {
+				if compOf[v] == 0 {
+					continue
+				}
+				d := g.Pos[u].Dist(g.Pos[v])
+				if d < bestD {
+					bestU, bestV, bestD = u, v, d
+				}
+			}
+		}
+		prr := clamp(radio.PRR(bestD, 0), minPRR, 0.95)
+		g.AddLink(bestU, bestV, prr)
+	}
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// TestbedNodes is the node count of the Indriya-style indoor preset.
+const TestbedNodes = 139
+
+// Testbed builds a 139-node indoor-testbed-like topology (Indriya-class):
+// nodes on a quasi-grid with placement jitter, milder path loss than the
+// forest but heavier shadowing from walls, and denser connectivity. It
+// complements the GreenOrbs forest preset for experiments that want a
+// second, structurally different deployment.
+func Testbed(seed uint64) *Graph {
+	radio := OpenFieldRadio()
+	radio.Exponent = 2.8 // indoor multipath
+	radio.ShadowStd = 5.0
+	cfg := GreenOrbsConfig{
+		Nodes:    TestbedNodes,
+		FieldX:   60,
+		FieldY:   40,
+		Clusters: 3, // three floors' worth of clusters
+		ClusterR: 12,
+		Uniform:  0.5,
+		Radio:    radio,
+		MinPRR:   0.10,
+		MaxPRR:   0.95,
+	}
+	g, err := GenerateGreenOrbs(cfg, seed)
+	if err != nil {
+		panic("topology: testbed generation failed: " + err.Error())
+	}
+	g.Name = fmt.Sprintf("testbed-synthetic(seed=%d)", seed)
+	return g
+}
+
+// RandomGeometric places n nodes uniformly in a fieldX × fieldY area and
+// links pairs via the radio model exactly as GenerateGreenOrbs does, but
+// without clustering. The result is made connected.
+func RandomGeometric(n int, fieldX, fieldY float64, radio RadioModel, minPRR float64, seed uint64) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topology: RandomGeometric needs >= 2 nodes")
+	}
+	if fieldX <= 0 || fieldY <= 0 {
+		return nil, fmt.Errorf("topology: non-positive field")
+	}
+	if minPRR <= 0 || minPRR >= 1 {
+		return nil, fmt.Errorf("topology: MinPRR %v outside (0,1)", minPRR)
+	}
+	root := rngutil.New(seed)
+	posRNG := root.SubName("positions")
+	g := New(n)
+	g.Name = fmt.Sprintf("rgg(n=%d,seed=%d)", n, seed)
+	g.Pos = make([]Point, n)
+	for i := range g.Pos {
+		g.Pos[i] = Point{X: fieldX * posRNG.Float64(), Y: fieldY * posRNG.Float64()}
+	}
+	linkByDistance(g, radio, minPRR, 0, root.SubName("shadowing"))
+	ensureConnected(g, radio, minPRR)
+	g.SortNeighbors()
+	return g, g.Validate()
+}
+
+// Grid builds a rows × cols lattice with the given spacing; each node links
+// to its 4-neighborhood with uniform PRR. Useful as an "ideal network"
+// (PRR 1) for validating the theory against the simulator.
+func Grid(rows, cols int, prr float64) *Graph {
+	if rows <= 0 || cols <= 0 {
+		panic("topology: Grid needs positive dimensions")
+	}
+	g := New(rows * cols)
+	g.Name = fmt.Sprintf("grid(%dx%d)", rows, cols)
+	g.Pos = make([]Point, rows*cols)
+	const spacing = 10.0
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			i := r*cols + c
+			g.Pos[i] = Point{X: float64(c) * spacing, Y: float64(r) * spacing}
+			if c+1 < cols {
+				g.AddLink(i, i+1, prr)
+			}
+			if r+1 < rows {
+				g.AddLink(i, i+cols, prr)
+			}
+		}
+	}
+	g.SortNeighbors()
+	return g
+}
+
+// Line builds an n-node path graph with uniform PRR; node 0 is one end.
+func Line(n int, prr float64) *Graph {
+	if n <= 0 {
+		panic("topology: Line needs n > 0")
+	}
+	g := New(n)
+	g.Name = fmt.Sprintf("line(%d)", n)
+	g.Pos = make([]Point, n)
+	for i := 0; i < n; i++ {
+		g.Pos[i] = Point{X: float64(i) * 10}
+		if i+1 < n {
+			g.AddLink(i, i+1, prr)
+		}
+	}
+	return g
+}
+
+// Star builds a hub-and-spoke graph: node 0 is the hub linked to all others
+// with uniform PRR.
+func Star(n int, prr float64) *Graph {
+	if n < 2 {
+		panic("topology: Star needs n >= 2")
+	}
+	g := New(n)
+	g.Name = fmt.Sprintf("star(%d)", n)
+	for i := 1; i < n; i++ {
+		g.AddLink(0, i, prr)
+	}
+	g.SortNeighbors()
+	return g
+}
+
+// Complete builds the complete graph on n nodes with uniform PRR. Complete
+// graphs are the setting in which Algorithm 1's hypercube dissemination
+// achieves the theoretical FWL, so this is the main theory-validation
+// topology.
+func Complete(n int, prr float64) *Graph {
+	if n < 2 {
+		panic("topology: Complete needs n >= 2")
+	}
+	g := New(n)
+	g.Name = fmt.Sprintf("complete(%d)", n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddLink(u, v, prr)
+		}
+	}
+	g.SortNeighbors()
+	return g
+}
+
+// CompleteHetero builds a complete graph whose link PRRs are drawn from a
+// truncated normal with the given mean and standard deviation (clamped to
+// [0.05, 1]). It is the heterogeneous-link setting Section IV-B defers to
+// simulation: same mean quality, different spread.
+func CompleteHetero(n int, meanPRR, stdPRR float64, seed uint64) *Graph {
+	if n < 2 {
+		panic("topology: CompleteHetero needs n >= 2")
+	}
+	if meanPRR <= 0 || meanPRR > 1 {
+		panic(fmt.Sprintf("topology: mean PRR %v outside (0,1]", meanPRR))
+	}
+	if stdPRR < 0 {
+		panic("topology: negative PRR std")
+	}
+	rng := rngutil.New(seed).SubName("hetero-prr")
+	g := New(n)
+	g.Name = fmt.Sprintf("complete-hetero(%d,mean=%.2f,std=%.2f)", n, meanPRR, stdPRR)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			prr := clamp(rng.NormMeanStd(meanPRR, stdPRR), 0.05, 1)
+			g.AddLink(u, v, prr)
+		}
+	}
+	g.SortNeighbors()
+	return g
+}
+
+// Ring builds an n-node cycle with uniform PRR.
+func Ring(n int, prr float64) *Graph {
+	if n < 3 {
+		panic("topology: Ring needs n >= 3")
+	}
+	g := New(n)
+	g.Name = fmt.Sprintf("ring(%d)", n)
+	for i := 0; i < n; i++ {
+		g.AddLink(i, (i+1)%n, prr)
+	}
+	g.SortNeighbors()
+	return g
+}
+
+// BinaryTree builds a complete-ish binary tree on n nodes rooted at node 0
+// (node i's children are 2i+1 and 2i+2) with uniform PRR.
+func BinaryTree(n int, prr float64) *Graph {
+	if n < 2 {
+		panic("topology: BinaryTree needs n >= 2")
+	}
+	g := New(n)
+	g.Name = fmt.Sprintf("btree(%d)", n)
+	for i := 0; i < n; i++ {
+		if c := 2*i + 1; c < n {
+			g.AddLink(i, c, prr)
+		}
+		if c := 2*i + 2; c < n {
+			g.AddLink(i, c, prr)
+		}
+	}
+	g.SortNeighbors()
+	return g
+}

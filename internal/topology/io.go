@@ -1,0 +1,193 @@
+package topology
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// jsonGraph is the wire representation: explicit node positions plus an
+// undirected edge list.
+type jsonGraph struct {
+	Name  string       `json:"name,omitempty"`
+	Nodes int          `json:"nodes"`
+	Pos   [][2]float64 `json:"pos,omitempty"`
+	Edges []jsonEdge   `json:"edges"`
+}
+
+type jsonEdge struct {
+	U   int     `json:"u"`
+	V   int     `json:"v"`
+	PRR float64 `json:"prr"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	jg := jsonGraph{Name: g.Name, Nodes: g.N()}
+	if g.Pos != nil {
+		jg.Pos = make([][2]float64, len(g.Pos))
+		for i, p := range g.Pos {
+			jg.Pos[i] = [2]float64{p.X, p.Y}
+		}
+	}
+	for _, e := range g.Links() {
+		jg.Edges = append(jg.Edges, jsonEdge{U: e.U, V: e.V, PRR: e.PRR})
+	}
+	return json.Marshal(jg)
+}
+
+// UnmarshalJSON implements json.Unmarshaler. The decoded graph is validated.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return err
+	}
+	if jg.Nodes <= 0 {
+		return fmt.Errorf("topology: JSON graph has %d nodes", jg.Nodes)
+	}
+	ng := New(jg.Nodes)
+	ng.Name = jg.Name
+	if jg.Pos != nil {
+		if len(jg.Pos) != jg.Nodes {
+			return fmt.Errorf("topology: %d positions for %d nodes", len(jg.Pos), jg.Nodes)
+		}
+		ng.Pos = make([]Point, jg.Nodes)
+		for i, p := range jg.Pos {
+			ng.Pos[i] = Point{X: p[0], Y: p[1]}
+		}
+	}
+	for _, e := range jg.Edges {
+		if e.U < 0 || e.U >= jg.Nodes || e.V < 0 || e.V >= jg.Nodes || e.U == e.V {
+			return fmt.Errorf("topology: bad edge %d-%d", e.U, e.V)
+		}
+		if e.PRR <= 0 || e.PRR > 1 {
+			return fmt.Errorf("topology: edge %d-%d has PRR %v", e.U, e.V, e.PRR)
+		}
+		ng.AddLink(e.U, e.V, e.PRR)
+	}
+	ng.SortNeighbors()
+	if err := ng.Validate(); err != nil {
+		return err
+	}
+	*g = *ng
+	return nil
+}
+
+// WriteText writes the graph in the compact trace format:
+//
+//	# comment lines allowed
+//	graph <name> <nodes>
+//	node <id> <x> <y>          (optional, one per node)
+//	link <u> <v> <prr>
+//
+// This is the on-disk format cmd/topogen produces and consumes; it is easy
+// to diff and to hand-edit.
+func (g *Graph) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	name := g.Name
+	if name == "" {
+		name = "unnamed"
+	}
+	// Names with spaces would break the reader's tokenization.
+	name = strings.ReplaceAll(name, " ", "_")
+	if _, err := fmt.Fprintf(bw, "graph %s %d\n", name, g.N()); err != nil {
+		return err
+	}
+	if g.Pos != nil {
+		for i, p := range g.Pos {
+			if _, err := fmt.Fprintf(bw, "node %d %.4f %.4f\n", i, p.X, p.Y); err != nil {
+				return err
+			}
+		}
+	}
+	for _, e := range g.Links() {
+		if _, err := fmt.Fprintf(bw, "link %d %d %.6f\n", e.U, e.V, e.PRR); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the compact trace format written by WriteText.
+func ReadText(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var g *Graph
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "graph":
+			if g != nil {
+				return nil, fmt.Errorf("topology: line %d: duplicate graph header", line)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("topology: line %d: graph header needs name and node count", line)
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("topology: line %d: bad node count %q", line, fields[2])
+			}
+			g = New(n)
+			g.Name = fields[1]
+		case "node":
+			if g == nil {
+				return nil, fmt.Errorf("topology: line %d: node before graph header", line)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("topology: line %d: node needs id x y", line)
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil || id < 0 || id >= g.N() {
+				return nil, fmt.Errorf("topology: line %d: bad node id %q", line, fields[1])
+			}
+			x, errX := strconv.ParseFloat(fields[2], 64)
+			y, errY := strconv.ParseFloat(fields[3], 64)
+			if errX != nil || errY != nil {
+				return nil, fmt.Errorf("topology: line %d: bad coordinates", line)
+			}
+			if g.Pos == nil {
+				g.Pos = make([]Point, g.N())
+			}
+			g.Pos[id] = Point{X: x, Y: y}
+		case "link":
+			if g == nil {
+				return nil, fmt.Errorf("topology: line %d: link before graph header", line)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("topology: line %d: link needs u v prr", line)
+			}
+			u, errU := strconv.Atoi(fields[1])
+			v, errV := strconv.Atoi(fields[2])
+			prr, errP := strconv.ParseFloat(fields[3], 64)
+			if errU != nil || errV != nil || errP != nil {
+				return nil, fmt.Errorf("topology: line %d: malformed link", line)
+			}
+			if u < 0 || u >= g.N() || v < 0 || v >= g.N() || u == v {
+				return nil, fmt.Errorf("topology: line %d: bad link endpoints %d-%d", line, u, v)
+			}
+			if prr <= 0 || prr > 1 {
+				return nil, fmt.Errorf("topology: line %d: PRR %v outside (0,1]", line, prr)
+			}
+			g.AddLink(u, v, prr)
+		default:
+			return nil, fmt.Errorf("topology: line %d: unknown directive %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("topology: no graph header found")
+	}
+	g.SortNeighbors()
+	return g, g.Validate()
+}

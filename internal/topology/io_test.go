@@ -1,0 +1,163 @@
+package topology
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func graphsEqual(t *testing.T, a, b *Graph) {
+	t.Helper()
+	if a.N() != b.N() {
+		t.Fatalf("node counts differ: %d vs %d", a.N(), b.N())
+	}
+	ea, eb := a.Links(), b.Links()
+	if len(ea) != len(eb) {
+		t.Fatalf("link counts differ: %d vs %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i].U != eb[i].U || ea[i].V != eb[i].V {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, ea[i], eb[i])
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := GreenOrbs(7)
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Graph
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	graphsEqual(t, g, &back)
+	if back.Name != g.Name {
+		t.Fatalf("name lost: %q vs %q", back.Name, g.Name)
+	}
+	for i := range g.Pos {
+		if g.Pos[i] != back.Pos[i] {
+			t.Fatalf("pos %d differs", i)
+		}
+	}
+	for _, e := range g.Links() {
+		if back.PRR(e.U, e.V) != e.PRR {
+			t.Fatalf("PRR of %d-%d lost", e.U, e.V)
+		}
+	}
+}
+
+func TestJSONRejectsBadInput(t *testing.T) {
+	cases := []string{
+		`{"nodes":0,"edges":[]}`,
+		`{"nodes":2,"edges":[{"u":0,"v":2,"prr":0.5}]}`,
+		`{"nodes":2,"edges":[{"u":0,"v":0,"prr":0.5}]}`,
+		`{"nodes":2,"edges":[{"u":0,"v":1,"prr":0}]}`,
+		`{"nodes":2,"edges":[{"u":0,"v":1,"prr":1.5}]}`,
+		`{"nodes":3,"pos":[[0,0]],"edges":[]}`,
+		`{not json`,
+	}
+	for i, c := range cases {
+		var g Graph
+		if err := json.Unmarshal([]byte(c), &g); err == nil {
+			t.Fatalf("case %d accepted: %s", i, c)
+		}
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	g := GreenOrbs(9)
+	var buf bytes.Buffer
+	if err := g.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsEqual(t, g, back)
+	for _, e := range g.Links() {
+		got := back.PRR(e.U, e.V)
+		if diff := got - e.PRR; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("PRR of %d-%d drifted: %v vs %v", e.U, e.V, got, e.PRR)
+		}
+	}
+}
+
+func TestTextRoundTripNoPositions(t *testing.T) {
+	g := Star(5, 0.75)
+	g.Pos = nil
+	var buf bytes.Buffer
+	if err := g.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsEqual(t, g, back)
+	if back.Pos != nil {
+		t.Fatal("positions materialized from nothing")
+	}
+}
+
+func TestReadTextCommentsAndBlanks(t *testing.T) {
+	in := `
+# a comment
+graph demo 3
+
+link 0 1 0.5
+# another
+link 1 2 0.25
+`
+	g, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.NumLinks() != 2 || g.Name != "demo" {
+		t.Fatalf("parsed wrong: %v", g)
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := []string{
+		"",                          // no header
+		"link 0 1 0.5\n",            // link before header
+		"node 0 1 2\n",              // node before header
+		"graph g 0\n",               // bad node count
+		"graph g two\n",             // unparsable count
+		"graph g 2\ngraph g 2\n",    // duplicate header
+		"graph g 2\nlink 0 2 0.5\n", // out of range
+		"graph g 2\nlink 0 0 0.5\n", // self loop
+		"graph g 2\nlink 0 1 2\n",   // bad prr
+		"graph g 2\nlink 0 1\n",     // missing field
+		"graph g 2\nnode 5 0 0\n",   // bad node id
+		"graph g 2\nnode 0 x 0\n",   // bad coordinate
+		"graph g 2\nfrobnicate\n",   // unknown directive
+		"graph g\n",                 // missing count
+	}
+	for i, c := range cases {
+		if _, err := ReadText(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d accepted: %q", i, c)
+		}
+	}
+}
+
+func TestWriteTextSanitizesName(t *testing.T) {
+	g := New(2)
+	g.Name = "my graph"
+	g.AddLink(0, 1, 0.5)
+	var buf bytes.Buffer
+	if err := g.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "my_graph" {
+		t.Fatalf("name = %q", back.Name)
+	}
+}

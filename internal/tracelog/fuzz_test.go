@@ -1,0 +1,52 @@
+package tracelog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the trace parser never panics and that accepted traces
+// survive a write/parse round trip with the same event count.
+func FuzzParse(f *testing.F) {
+	f.Add("I 0 0\nT 1 2 3 0 0\nO 3 2 7 0\nC 9 0\n")
+	f.Add("# comment\n\nI 5 1\n")
+	f.Add("T 1 2 3 4\n")
+	f.Add("Z 1 2\n")
+	f.Add("T -1 -2 -3 -4 -5\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		events, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		l := NewLogger(&buf)
+		for _, ev := range events {
+			switch ev.Kind {
+			case KindInject:
+				l.OnInject(ev.T, ev.Packet)
+			case KindTransmit:
+				l.OnTransmit(ev.T, ev.From, ev.To, ev.Packet, ev.Outcome)
+			case KindOverhear:
+				l.OnOverhear(ev.T, ev.From, ev.To, ev.Packet)
+			case KindCovered:
+				l.OnCovered(ev.T, ev.Packet)
+			}
+		}
+		if err := l.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		back, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(back) != len(events) {
+			t.Fatalf("round trip changed event count: %d vs %d", len(back), len(events))
+		}
+		for i := range back {
+			if back[i] != events[i] {
+				t.Fatalf("event %d changed: %+v vs %+v", i, back[i], events[i])
+			}
+		}
+	})
+}

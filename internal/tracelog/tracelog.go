@@ -1,0 +1,318 @@
+// Package tracelog records simulation events as a compact, line-oriented
+// text log and reads them back for offline analysis. It implements
+// sim.Observer, so attach a Logger via sim.Config.Observer to capture the
+// full transmission history of a run:
+//
+//	var buf bytes.Buffer
+//	logger := tracelog.NewLogger(&buf)
+//	sim.Run(sim.Config{..., Observer: logger})
+//	events, _ := tracelog.Parse(&buf)
+//
+// The format, one event per line:
+//
+//	I <t> <packet>                       injection
+//	T <t> <from> <to> <packet> <outcome> transmission attempt
+//	O <t> <from> <node> <packet>         overheard reception
+//	C <t> <packet>                       coverage reached
+package tracelog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"ldcflood/internal/sim"
+)
+
+// Kind discriminates event types.
+type Kind byte
+
+// Event kinds.
+const (
+	KindInject   Kind = 'I'
+	KindTransmit Kind = 'T'
+	KindOverhear Kind = 'O'
+	KindCovered  Kind = 'C'
+)
+
+// Event is one decoded trace record. Fields not applicable to the kind are
+// zero (From/To for injections, Outcome for non-transmissions).
+type Event struct {
+	Kind    Kind
+	T       int64
+	From    int
+	To      int
+	Packet  int
+	Outcome sim.TxOutcome
+}
+
+// Logger streams events to an io.Writer. It implements sim.Observer.
+// Errors are latched: the first write error stops further output and is
+// reported by Err.
+type Logger struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewLogger returns a Logger writing to w. Call Flush when the run ends.
+func NewLogger(w io.Writer) *Logger {
+	return &Logger{w: bufio.NewWriter(w)}
+}
+
+// Err returns the first write error encountered, if any.
+func (l *Logger) Err() error { return l.err }
+
+// Flush drains buffered output and returns any write error.
+func (l *Logger) Flush() error {
+	if l.err != nil {
+		return l.err
+	}
+	l.err = l.w.Flush()
+	return l.err
+}
+
+func (l *Logger) printf(format string, args ...interface{}) {
+	if l.err != nil {
+		return
+	}
+	_, l.err = fmt.Fprintf(l.w, format, args...)
+}
+
+// OnInject implements sim.Observer.
+func (l *Logger) OnInject(t int64, packet int) {
+	l.printf("I %d %d\n", t, packet)
+}
+
+// OnTransmit implements sim.Observer.
+func (l *Logger) OnTransmit(t int64, from, to, packet int, outcome sim.TxOutcome) {
+	l.printf("T %d %d %d %d %d\n", t, from, to, packet, int(outcome))
+}
+
+// OnOverhear implements sim.Observer.
+func (l *Logger) OnOverhear(t int64, from, node, packet int) {
+	l.printf("O %d %d %d %d\n", t, from, node, packet)
+}
+
+// OnCovered implements sim.Observer.
+func (l *Logger) OnCovered(t int64, packet int) {
+	l.printf("C %d %d\n", t, packet)
+}
+
+var _ sim.Observer = (*Logger)(nil)
+
+// Parse decodes a trace written by Logger. Malformed lines yield an error
+// naming the line number.
+func Parse(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		ev, err := parseEvent(fields)
+		if err != nil {
+			return nil, fmt.Errorf("tracelog: line %d: %w", line, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseEvent(fields []string) (Event, error) {
+	if len(fields) == 0 || len(fields[0]) != 1 {
+		return Event{}, fmt.Errorf("bad event tag")
+	}
+	ints := func(n int) ([]int64, error) {
+		if len(fields) != n+1 {
+			return nil, fmt.Errorf("want %d fields, got %d", n+1, len(fields))
+		}
+		out := make([]int64, n)
+		for i := 0; i < n; i++ {
+			v, err := strconv.ParseInt(fields[i+1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("field %d: %v", i+1, err)
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	switch Kind(fields[0][0]) {
+	case KindInject:
+		v, err := ints(2)
+		if err != nil {
+			return Event{}, err
+		}
+		return Event{Kind: KindInject, T: v[0], Packet: int(v[1])}, nil
+	case KindTransmit:
+		v, err := ints(5)
+		if err != nil {
+			return Event{}, err
+		}
+		return Event{
+			Kind: KindTransmit, T: v[0],
+			From: int(v[1]), To: int(v[2]), Packet: int(v[3]),
+			Outcome: sim.TxOutcome(v[4]),
+		}, nil
+	case KindOverhear:
+		v, err := ints(4)
+		if err != nil {
+			return Event{}, err
+		}
+		return Event{Kind: KindOverhear, T: v[0], From: int(v[1]), To: int(v[2]), Packet: int(v[3])}, nil
+	case KindCovered:
+		v, err := ints(2)
+		if err != nil {
+			return Event{}, err
+		}
+		return Event{Kind: KindCovered, T: v[0], Packet: int(v[1])}, nil
+	default:
+		return Event{}, fmt.Errorf("unknown event tag %q", fields[0])
+	}
+}
+
+// Validate replays a decoded trace against the physical rules of the
+// simulator and returns the first inconsistency found, or nil. It checks:
+//
+//   - events are time-ordered;
+//   - injections are sequential (packet p at the p-th injection);
+//   - every successful transmission's sender holds the packet and the
+//     receiver does not (possession monotonicity);
+//   - no node both transmits successfully and receives in the same slot
+//     (semi-duplex);
+//   - at most one reception per node per slot;
+//   - coverage events fire at most once per packet.
+//
+// Use it to sanity-check traces produced by external tools or mutated by
+// post-processing before analyzing them.
+func Validate(events []Event) error {
+	type nodePacket struct{ node, packet int }
+	has := map[nodePacket]bool{}
+	covered := map[int]bool{}
+	injections := 0
+	var prevT int64 = -1 << 62
+	var slotT int64
+	txThisSlot := map[int]bool{}
+	rxThisSlot := map[int]bool{}
+	resetSlot := func(t int64) {
+		if t != slotT {
+			slotT = t
+			for k := range txThisSlot {
+				delete(txThisSlot, k)
+			}
+			for k := range rxThisSlot {
+				delete(rxThisSlot, k)
+			}
+		}
+	}
+	for i, ev := range events {
+		if ev.T < prevT {
+			return fmt.Errorf("tracelog: event %d out of order (t=%d after %d)", i, ev.T, prevT)
+		}
+		prevT = ev.T
+		resetSlot(ev.T)
+		switch ev.Kind {
+		case KindInject:
+			if ev.Packet != injections {
+				return fmt.Errorf("tracelog: event %d injects packet %d, want %d", i, ev.Packet, injections)
+			}
+			injections++
+			has[nodePacket{0, ev.Packet}] = true
+		case KindTransmit:
+			if ev.Packet >= injections {
+				return fmt.Errorf("tracelog: event %d transmits uninjected packet %d", i, ev.Packet)
+			}
+			if !has[nodePacket{ev.From, ev.Packet}] {
+				return fmt.Errorf("tracelog: event %d: node %d transmits packet %d it does not hold", i, ev.From, ev.Packet)
+			}
+			if ev.Outcome == sim.TxSuccess {
+				if has[nodePacket{ev.To, ev.Packet}] {
+					return fmt.Errorf("tracelog: event %d: node %d re-receives packet %d", i, ev.To, ev.Packet)
+				}
+				if rxThisSlot[ev.To] {
+					return fmt.Errorf("tracelog: event %d: node %d receives twice in slot %d", i, ev.To, ev.T)
+				}
+				if txThisSlot[ev.To] {
+					return fmt.Errorf("tracelog: event %d: node %d receives while transmitting in slot %d", i, ev.To, ev.T)
+				}
+				has[nodePacket{ev.To, ev.Packet}] = true
+				rxThisSlot[ev.To] = true
+			}
+			txThisSlot[ev.From] = true
+			if rxThisSlot[ev.From] {
+				return fmt.Errorf("tracelog: event %d: node %d transmits after receiving in slot %d", i, ev.From, ev.T)
+			}
+		case KindOverhear:
+			if has[nodePacket{ev.To, ev.Packet}] {
+				return fmt.Errorf("tracelog: event %d: node %d overhears packet %d it already holds", i, ev.To, ev.Packet)
+			}
+			if rxThisSlot[ev.To] {
+				return fmt.Errorf("tracelog: event %d: node %d overhears after receiving in slot %d", i, ev.To, ev.T)
+			}
+			has[nodePacket{ev.To, ev.Packet}] = true
+			rxThisSlot[ev.To] = true
+		case KindCovered:
+			if covered[ev.Packet] {
+				return fmt.Errorf("tracelog: event %d: packet %d covered twice", i, ev.Packet)
+			}
+			covered[ev.Packet] = true
+		default:
+			return fmt.Errorf("tracelog: event %d has unknown kind %q", i, ev.Kind)
+		}
+	}
+	return nil
+}
+
+// Stats summarizes a decoded trace.
+type Stats struct {
+	Events        int
+	Injections    int
+	Transmissions int
+	Outcomes      map[sim.TxOutcome]int
+	Overheard     int
+	Covered       int
+	FirstSlot     int64
+	LastSlot      int64
+	// PerNodeTx counts transmission attempts by sender id.
+	PerNodeTx map[int]int
+}
+
+// Summarize aggregates events into Stats.
+func Summarize(events []Event) Stats {
+	s := Stats{
+		Outcomes:  make(map[sim.TxOutcome]int),
+		PerNodeTx: make(map[int]int),
+		FirstSlot: -1,
+	}
+	for _, ev := range events {
+		s.Events++
+		if s.FirstSlot == -1 || ev.T < s.FirstSlot {
+			s.FirstSlot = ev.T
+		}
+		if ev.T > s.LastSlot {
+			s.LastSlot = ev.T
+		}
+		switch ev.Kind {
+		case KindInject:
+			s.Injections++
+		case KindTransmit:
+			s.Transmissions++
+			s.Outcomes[ev.Outcome]++
+			s.PerNodeTx[ev.From]++
+		case KindOverhear:
+			s.Overheard++
+		case KindCovered:
+			s.Covered++
+		}
+	}
+	return s
+}
