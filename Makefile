@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench figures figures-quick examples clean
+.PHONY: all build vet test test-short test-race bench figures figures-quick examples clean
 
 all: build vet test
 
@@ -18,6 +18,11 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# Race-detector pass over the whole module (mirrors the CI "Race" step);
+# the batch runner and every refactored fan-out must stay clean under it.
+test-race:
+	$(GO) test -race -short ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -9,6 +9,7 @@
 package ldcflood
 
 import (
+	"context"
 	"testing"
 
 	"ldcflood/internal/analysis"
@@ -16,6 +17,7 @@ import (
 	"ldcflood/internal/flood"
 	"ldcflood/internal/matrixflood"
 	"ldcflood/internal/rngutil"
+	"ldcflood/internal/runner"
 	"ldcflood/internal/schedule"
 	"ldcflood/internal/sim"
 	"ldcflood/internal/topology"
@@ -158,6 +160,61 @@ func BenchmarkFig11Failures(b *testing.B) {
 	}
 	if s := last.SeriesByName("DBAO"); s != nil && len(s.Y) > 0 {
 		b.ReportMetric(s.Y[0], "DBAO-failures-at-2%")
+	}
+}
+
+// BenchmarkRunnerBatch measures the internal/runner batch executor
+// end-to-end on a Fig. 10-shaped grid (3 protocols × 4 duty cycles on the
+// 298-node GreenOrbs topology, M=10) with one worker versus the full
+// machine. Both variants produce identical results; the ratio of their
+// times is the parallel speedup every sweep in the repository inherits.
+func BenchmarkRunnerBatch(b *testing.B) {
+	g := topology.GreenOrbs(1)
+	build := func(b *testing.B) []sim.Config {
+		b.Helper()
+		// Protocols are stateful, so every iteration needs fresh instances.
+		var jobs []sim.Config
+		duties := []float64{0.02, 0.05, 0.10, 0.20}
+		seeds := runner.Seeds(1, len(duties)*3)
+		for ji, name := range []string{"opt", "dbao", "of"} {
+			for di, duty := range duties {
+				p, err := flood.New(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				seed := seeds[ji*len(duties)+di]
+				period := schedule.PeriodForDuty(duty)
+				jobs = append(jobs, sim.Config{
+					Graph:     g,
+					Schedules: schedule.AssignUniform(g.N(), period, rngutil.New(seed).SubName("schedule")),
+					Protocol:  p,
+					M:         10,
+					Coverage:  0.99,
+					Seed:      seed,
+				})
+			}
+		}
+		return jobs
+	}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"workers-1", 1},
+		{"workers-max", 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var slots int64
+			for i := 0; i < b.N; i++ {
+				rs, stats := runner.Run(context.Background(), build(b), runner.Options{Workers: bc.workers})
+				if err := rs.Err(); err != nil {
+					b.Fatal(err)
+				}
+				slots = stats.Slots
+			}
+			b.ReportMetric(float64(slots), "slots-per-batch")
+		})
 	}
 }
 

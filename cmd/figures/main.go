@@ -5,11 +5,14 @@
 // Usage:
 //
 //	figures [-fig all|fig3,table1,fig5,...] [-quick] [-m 100] [-runs 1]
-//	        [-toposeed 1] [-seed 1]
+//	        [-toposeed 1] [-seed 1] [-workers 0] [-progress]
 //
 // Analytic figures are exact; simulation figures (8-11) run the simulator
 // on the synthetic GreenOrbs topology. -quick cuts the simulated workload
-// (M=20, four duty points) while preserving every qualitative shape.
+// (M=20, four duty points) while preserving every qualitative shape. The
+// simulation sweeps execute on the internal/runner batch executor:
+// -workers bounds the pool (results never depend on it) and -progress
+// streams completion counts to stderr.
 package main
 
 import (
@@ -18,8 +21,10 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"ldcflood/internal/experiments"
+	"ldcflood/internal/runner"
 )
 
 func main() {
@@ -31,6 +36,8 @@ func main() {
 		topoSeed = flag.Uint64("toposeed", 1, "synthetic GreenOrbs topology seed")
 		seed     = flag.Uint64("seed", 1, "simulation seed (schedules + link loss)")
 		outDir   = flag.String("out", "", "write each figure to <dir>/<id>.txt instead of stdout")
+		workers  = flag.Int("workers", 0, "batch-runner workers for simulation sweeps (0 = GOMAXPROCS); results never depend on it")
+		progress = flag.Bool("progress", false, "print live batch progress to stderr during simulation sweeps")
 	)
 	flag.Parse()
 
@@ -44,6 +51,17 @@ func main() {
 	opts.Runs = *runs
 	opts.TopoSeed = *topoSeed
 	opts.Seed = *seed
+	opts.Workers = *workers
+	if *progress {
+		opts.Progress = func(p runner.Progress) {
+			fmt.Fprintf(os.Stderr, "\rfigures: %d/%d sims (%d failed), %.2fM slots, %s ",
+				p.Done, p.Total, p.Failed, float64(p.Slots)/1e6,
+				p.Elapsed.Round(100*time.Millisecond))
+			if p.Done == p.Total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
 
 	if err := run(*figFlag, opts, *outDir); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)

@@ -6,7 +6,12 @@
 //
 //	sweep [-protocols opt,dbao,of] [-duties 0.02,0.05,0.1,0.2] [-seeds 3]
 //	      [-m 100] [-coverage 0.99] [-toposeed 1] [-syncerr 0]
-//	      [-out results.csv] [-parallel 0]
+//	      [-out results.csv] [-parallel 0] [-timeout 0] [-progress]
+//
+// The grid executes on the internal/runner batch executor: -parallel
+// bounds the worker pool, a failing cell (panic or -timeout overrun)
+// reports a typed job error naming the cell, and the CSV is byte-identical
+// for every -parallel value.
 //
 // Columns: protocol, duty, period, seed, mean_delay, p50_delay, p99_delay,
 // transmissions, failures, loss, collision, busy, sync, overheard,
@@ -14,18 +19,19 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"runtime"
 	"strconv"
 	"strings"
-	"sync"
+	"time"
 
 	"ldcflood/internal/flood"
 	"ldcflood/internal/rngutil"
+	"ldcflood/internal/runner"
 	"ldcflood/internal/schedule"
 	"ldcflood/internal/sim"
 	"ldcflood/internal/stats"
@@ -42,7 +48,9 @@ func main() {
 		topoSeed  = flag.Uint64("toposeed", 1, "synthetic GreenOrbs topology seed")
 		syncErr   = flag.Float64("syncerr", 0, "local-synchronization miss probability")
 		out       = flag.String("out", "", "output CSV path (default stdout)")
-		parallel  = flag.Int("parallel", 0, "concurrent runs (0 = GOMAXPROCS)")
+		parallel  = flag.Int("parallel", 0, "batch-runner workers (0 = GOMAXPROCS); the CSV is identical for every value")
+		timeout   = flag.Duration("timeout", 0, "per-run wall-clock budget (0 = none); an overrunning cell fails with a typed timeout error")
+		progress  = flag.Bool("progress", false, "print live batch progress to stderr")
 	)
 	flag.Parse()
 
@@ -56,7 +64,21 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	if err := run(w, *protocols, *duties, *seeds, *m, *coverage, *topoSeed, *syncErr, *parallel); err != nil {
+	cfg := sweepConfig{
+		protocolsCSV: *protocols,
+		dutiesCSV:    *duties,
+		seeds:        *seeds,
+		m:            *m,
+		coverage:     *coverage,
+		topoSeed:     *topoSeed,
+		syncErr:      *syncErr,
+		parallel:     *parallel,
+		timeout:      *timeout,
+	}
+	if *progress {
+		cfg.progress = os.Stderr
+	}
+	if err := run(w, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
@@ -68,8 +90,21 @@ type cell struct {
 	seed     uint64
 }
 
-func run(w io.Writer, protocolsCSV, dutiesCSV string, seeds, m int, coverage float64, topoSeed uint64, syncErr float64, parallel int) error {
-	protocols := strings.Split(protocolsCSV, ",")
+type sweepConfig struct {
+	protocolsCSV string
+	dutiesCSV    string
+	seeds        int
+	m            int
+	coverage     float64
+	topoSeed     uint64
+	syncErr      float64
+	parallel     int
+	timeout      time.Duration
+	progress     io.Writer // nil disables progress reporting
+}
+
+func run(w io.Writer, sc sweepConfig) error {
+	protocols := strings.Split(sc.protocolsCSV, ",")
 	for i := range protocols {
 		protocols[i] = strings.TrimSpace(protocols[i])
 		if _, err := flood.New(protocols[i]); err != nil {
@@ -77,7 +112,7 @@ func run(w io.Writer, protocolsCSV, dutiesCSV string, seeds, m int, coverage flo
 		}
 	}
 	var duties []float64
-	for _, d := range strings.Split(dutiesCSV, ",") {
+	for _, d := range strings.Split(sc.dutiesCSV, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(d), 64)
 		if err != nil {
 			return fmt.Errorf("bad duty %q: %v", d, err)
@@ -87,43 +122,56 @@ func run(w io.Writer, protocolsCSV, dutiesCSV string, seeds, m int, coverage flo
 		}
 		duties = append(duties, v)
 	}
-	if seeds < 1 {
+	if sc.seeds < 1 {
 		return fmt.Errorf("need at least one seed")
 	}
-	if m < 1 {
+	if sc.m < 1 {
 		return fmt.Errorf("need m >= 1")
 	}
-	if parallel <= 0 {
-		parallel = runtime.GOMAXPROCS(0)
-	}
 
-	g := topology.GreenOrbs(topoSeed)
+	g := topology.GreenOrbs(sc.topoSeed)
 	var cells []cell
 	for _, p := range protocols {
 		for _, d := range duties {
-			for s := 0; s < seeds; s++ {
+			for s := 0; s < sc.seeds; s++ {
 				cells = append(cells, cell{protocol: p, duty: d, seed: uint64(s)})
 			}
 		}
 	}
-
-	rows := make([][]string, len(cells))
-	errs := make([]error, len(cells))
-	sem := make(chan struct{}, parallel)
-	var wg sync.WaitGroup
+	jobs := make([]sim.Config, len(cells))
 	for i, c := range cells {
-		wg.Add(1)
-		go func(i int, c cell) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			rows[i], errs[i] = runCell(g, c, m, coverage, syncErr)
-		}(i, c)
-	}
-	wg.Wait()
-	for _, err := range errs {
+		p, err := flood.New(c.protocol)
 		if err != nil {
 			return err
+		}
+		period := schedule.PeriodForDuty(c.duty)
+		jobs[i] = sim.Config{
+			Graph:         g,
+			Schedules:     schedule.AssignUniform(g.N(), period, rngutil.New(c.seed).SubName("schedule")),
+			Protocol:      p,
+			M:             sc.m,
+			Coverage:      sc.coverage,
+			Seed:          c.seed,
+			SyncErrorProb: sc.syncErr,
+		}
+	}
+
+	ropts := runner.Options{Workers: sc.parallel, Timeout: sc.timeout}
+	if sc.progress != nil {
+		ropts.Progress = func(p runner.Progress) {
+			fmt.Fprintf(sc.progress, "\rsweep: %d/%d runs (%d failed), %.2fM slots, %s ",
+				p.Done, p.Total, p.Failed, float64(p.Slots)/1e6,
+				p.Elapsed.Round(100*time.Millisecond))
+		}
+	}
+	rs, _ := runner.Run(context.Background(), jobs, ropts)
+	if sc.progress != nil {
+		fmt.Fprintln(sc.progress)
+	}
+	for i := range rs {
+		if rs[i].Err != nil {
+			c := cells[i]
+			return fmt.Errorf("%s at duty %v seed %d: %w", c.protocol, c.duty, c.seed, rs[i].Err)
 		}
 	}
 
@@ -137,8 +185,8 @@ func run(w io.Writer, protocolsCSV, dutiesCSV string, seeds, m int, coverage flo
 	if err := cw.Write(header); err != nil {
 		return err
 	}
-	for _, row := range rows {
-		if err := cw.Write(row); err != nil {
+	for i := range rs {
+		if err := cw.Write(row(cells[i], rs[i].Res)); err != nil {
 			return err
 		}
 	}
@@ -146,25 +194,8 @@ func run(w io.Writer, protocolsCSV, dutiesCSV string, seeds, m int, coverage flo
 	return cw.Error()
 }
 
-func runCell(g *topology.Graph, c cell, m int, coverage, syncErr float64) ([]string, error) {
-	p, err := flood.New(c.protocol)
-	if err != nil {
-		return nil, err
-	}
-	period := schedule.PeriodForDuty(c.duty)
-	scheds := schedule.AssignUniform(g.N(), period, rngutil.New(c.seed).SubName("schedule"))
-	res, err := sim.Run(sim.Config{
-		Graph:         g,
-		Schedules:     scheds,
-		Protocol:      p,
-		M:             m,
-		Coverage:      coverage,
-		Seed:          c.seed,
-		SyncErrorProb: syncErr,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("%s at duty %v seed %d: %w", c.protocol, c.duty, c.seed, err)
-	}
+// row formats one finished cell as a CSV record.
+func row(c cell, res *sim.Result) []string {
 	var delays []float64
 	for _, d := range res.Delay {
 		if d >= 0 {
@@ -179,7 +210,7 @@ func runCell(g *topology.Graph, c cell, m int, coverage, syncErr float64) ([]str
 	return []string{
 		res.Protocol,
 		fmt.Sprintf("%.4f", c.duty),
-		fmt.Sprintf("%d", period),
+		fmt.Sprintf("%d", schedule.PeriodForDuty(c.duty)),
 		fmt.Sprintf("%d", c.seed),
 		fmt.Sprintf("%.1f", res.MeanDelay()),
 		p50,
@@ -193,5 +224,5 @@ func runCell(g *topology.Graph, c cell, m int, coverage, syncErr float64) ([]str
 		fmt.Sprintf("%d", res.Overheard),
 		fmt.Sprintf("%d", res.TotalSlots),
 		fmt.Sprintf("%v", res.Completed),
-	}, nil
+	}
 }

@@ -3,13 +3,37 @@ package main
 import (
 	"bytes"
 	"encoding/csv"
+	"errors"
 	"strconv"
+	"strings"
 	"testing"
+	"time"
+
+	"ldcflood/internal/runner"
 )
+
+// testConfig returns a small, fast sweep configuration; tests override
+// individual fields.
+func testConfig() sweepConfig {
+	return sweepConfig{
+		protocolsCSV: "opt",
+		dutiesCSV:    "0.10",
+		seeds:        1,
+		m:            5,
+		coverage:     0.99,
+		topoSeed:     1,
+		parallel:     1,
+	}
+}
 
 func TestRunProducesCSV(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "opt,dbao", "0.10,0.20", 2, 5, 0.99, 1, 0, 2); err != nil {
+	sc := testConfig()
+	sc.protocolsCSV = "opt,dbao"
+	sc.dutiesCSV = "0.10,0.20"
+	sc.seeds = 2
+	sc.parallel = 2
+	if err := run(&buf, sc); err != nil {
 		t.Fatal(err)
 	}
 	records, err := csv.NewReader(&buf).ReadAll()
@@ -36,10 +60,15 @@ func TestRunProducesCSV(t *testing.T) {
 
 func TestRunOrderingIsDeterministic(t *testing.T) {
 	var a, b bytes.Buffer
-	if err := run(&a, "opt", "0.10", 1, 3, 0.99, 1, 0, 4); err != nil {
+	sa := testConfig()
+	sa.seeds = 3
+	sa.parallel = 4
+	if err := run(&a, sa); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&b, "opt", "0.10", 1, 3, 0.99, 1, 0, 1); err != nil {
+	sb := sa
+	sb.parallel = 1
+	if err := run(&b, sb); err != nil {
 		t.Fatal(err)
 	}
 	if a.String() != b.String() {
@@ -49,7 +78,9 @@ func TestRunOrderingIsDeterministic(t *testing.T) {
 
 func TestRunSyncErrColumn(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "opt", "0.10", 1, 5, 0.99, 1, 0.3, 1); err != nil {
+	sc := testConfig()
+	sc.syncErr = 0.3
+	if err := run(&buf, sc); err != nil {
 		t.Fatal(err)
 	}
 	records, err := csv.NewReader(&buf).ReadAll()
@@ -59,6 +90,37 @@ func TestRunSyncErrColumn(t *testing.T) {
 	syncFails, err := strconv.Atoi(records[1][12])
 	if err != nil || syncFails == 0 {
 		t.Fatalf("sync failures column = %q, want > 0", records[1][12])
+	}
+}
+
+func TestRunTimeoutYieldsTypedError(t *testing.T) {
+	var buf bytes.Buffer
+	sc := testConfig()
+	sc.m = 100
+	sc.dutiesCSV = "0.02"
+	sc.timeout = time.Microsecond // no 298-node run finishes this fast
+	err := run(&buf, sc)
+	if err == nil {
+		t.Fatal("timeout accepted")
+	}
+	if !errors.Is(err, runner.ErrTimeout) {
+		t.Fatalf("err = %v, want runner.ErrTimeout", err)
+	}
+	if !strings.Contains(err.Error(), "duty 0.02") {
+		t.Fatalf("error %q does not name the failing cell", err)
+	}
+}
+
+func TestRunProgressOutput(t *testing.T) {
+	var buf, prog bytes.Buffer
+	sc := testConfig()
+	sc.seeds = 2
+	sc.progress = &prog
+	if err := run(&buf, sc); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prog.String(), "2/2 runs") {
+		t.Fatalf("progress output %q missing final snapshot", prog.String())
 	}
 }
 
@@ -76,7 +138,12 @@ func TestRunErrors(t *testing.T) {
 		{"opt", "0.1", 1, 0},
 	}
 	for i, c := range cases {
-		if err := run(&buf, c.protocols, c.duties, c.seeds, c.m, 0.99, 1, 0, 1); err == nil {
+		sc := testConfig()
+		sc.protocolsCSV = c.protocols
+		sc.dutiesCSV = c.duties
+		sc.seeds = c.seeds
+		sc.m = c.m
+		if err := run(&buf, sc); err == nil {
 			t.Fatalf("case %d accepted", i)
 		}
 	}

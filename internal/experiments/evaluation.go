@@ -1,13 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
 	"ldcflood/internal/analysis"
 	"ldcflood/internal/flood"
 	"ldcflood/internal/metrics"
 	"ldcflood/internal/rngutil"
+	"ldcflood/internal/runner"
 	"ldcflood/internal/schedule"
 	"ldcflood/internal/sim"
 	"ldcflood/internal/topology"
@@ -49,31 +50,44 @@ func Fig8(topoSeed uint64) (*FigureData, error) {
 	return fd, nil
 }
 
-// runProtocol executes opts.Runs simulations of one protocol at one duty
-// cycle and aggregates them.
-func runProtocol(g *topology.Graph, name string, period int, opts SimOptions) (*metrics.Aggregate, error) {
-	var results []*sim.Result
-	for run := 0; run < opts.Runs; run++ {
+// protocolJobs builds the opts.Runs simulation configs of one protocol at
+// one duty-cycle period. Run r keeps the historical opts.Seed + r*1000
+// seed derivation so golden results stay stable; every config is fully
+// determined here, before any job is dispatched, which is what makes the
+// batch output independent of runner worker count.
+func protocolJobs(g *topology.Graph, name string, period int, opts SimOptions) ([]sim.Config, error) {
+	jobs := make([]sim.Config, opts.Runs)
+	for run := range jobs {
 		p, err := flood.New(name)
 		if err != nil {
 			return nil, err
 		}
 		seed := opts.Seed + uint64(run)*1000
-		scheds := schedule.AssignUniform(g.N(), period,
-			rngutil.New(seed).SubName("schedule"))
-		res, err := sim.Run(sim.Config{
-			Graph:     g,
-			Schedules: scheds,
-			Protocol:  p,
-			M:         opts.M,
-			Coverage:  opts.Coverage,
-			Seed:      seed,
-			MaxSlots:  opts.MaxSlots,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s at T=%d: %w", name, period, err)
+		jobs[run] = sim.Config{
+			Graph: g,
+			Schedules: schedule.AssignUniform(g.N(), period,
+				rngutil.New(seed).SubName("schedule")),
+			Protocol: p,
+			M:        opts.M,
+			Coverage: opts.Coverage,
+			Seed:     seed,
+			MaxSlots: opts.MaxSlots,
 		}
-		results = append(results, res)
+	}
+	return jobs, nil
+}
+
+// runProtocol executes opts.Runs simulations of one protocol at one duty
+// cycle on the batch runner and aggregates them.
+func runProtocol(g *topology.Graph, name string, period int, opts SimOptions) (*metrics.Aggregate, error) {
+	jobs, err := protocolJobs(g, name, period, opts)
+	if err != nil {
+		return nil, err
+	}
+	rs, _ := runner.Run(context.Background(), jobs, opts.runnerOptions())
+	results, err := rs.Sims()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s at T=%d: %w", name, period, err)
 	}
 	return metrics.Combine(results)
 }
@@ -147,27 +161,23 @@ func Fig10And11(opts SimOptions) (*FigureData, *FigureData, error) {
 		YLabel: "number of transmission failures",
 	}
 
-	// The sweep cells are independent simulations; run them concurrently
-	// and collect into fixed positions so the output stays deterministic.
-	type cell struct {
-		agg *metrics.Aggregate
-		err error
-	}
-	cells := make([][]cell, len(opts.Duties))
-	var wg sync.WaitGroup
-	for di, duty := range opts.Duties {
-		cells[di] = make([]cell, len(opts.Protocols))
+	// Every (duty, protocol, run) cell of the sweep is an independent
+	// simulation. Flatten the whole grid into one batch so the runner
+	// bounds parallelism, recovers per-job panics, and returns results in
+	// input order — the output is identical for any worker count.
+	nproto := len(opts.Protocols)
+	var jobs []sim.Config
+	for _, duty := range opts.Duties {
 		period := schedule.PeriodForDuty(duty)
-		for pi, name := range opts.Protocols {
-			wg.Add(1)
-			go func(di, pi int, name string, period int) {
-				defer wg.Done()
-				agg, err := runProtocol(g, name, period, opts)
-				cells[di][pi] = cell{agg: agg, err: err}
-			}(di, pi, name, period)
+		for _, name := range opts.Protocols {
+			cell, err := protocolJobs(g, name, period, opts)
+			if err != nil {
+				return nil, nil, err
+			}
+			jobs = append(jobs, cell...)
 		}
 	}
-	wg.Wait()
+	rs, _ := runner.Run(context.Background(), jobs, opts.runnerOptions())
 
 	delays := make(map[string][]float64)
 	fails := make(map[string][]float64)
@@ -176,13 +186,18 @@ func Fig10And11(opts SimOptions) (*FigureData, *FigureData, error) {
 		period := schedule.PeriodForDuty(duty)
 		xs = append(xs, duty*100)
 		predicted = append(predicted, analysis.PredictedDelay(g.N()-1, opts.Coverage, k, period))
-		for pi := range opts.Protocols {
-			c := cells[di][pi]
-			if c.err != nil {
-				return nil, nil, c.err
+		for pi, name := range opts.Protocols {
+			base := (di*nproto + pi) * opts.Runs
+			sims, err := rs[base : base+opts.Runs].Sims()
+			if err != nil {
+				return nil, nil, fmt.Errorf("experiments: %s at T=%d: %w", name, period, err)
 			}
-			delays[c.agg.Protocol] = append(delays[c.agg.Protocol], c.agg.Delay.Mean)
-			fails[c.agg.Protocol] = append(fails[c.agg.Protocol], c.agg.Failures)
+			agg, err := metrics.Combine(sims)
+			if err != nil {
+				return nil, nil, err
+			}
+			delays[agg.Protocol] = append(delays[agg.Protocol], agg.Delay.Mean)
+			fails[agg.Protocol] = append(fails[agg.Protocol], agg.Failures)
 		}
 	}
 	// Series in paper order (OF, DBAO, OPT, bound).

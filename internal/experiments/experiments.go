@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"ldcflood/internal/asciichart"
+	"ldcflood/internal/runner"
 )
 
 // Series is one named data series of a figure.
@@ -78,6 +79,18 @@ type SimOptions struct {
 	Duties []float64
 	// Protocols lists protocol names to evaluate (default opt, dbao, of).
 	Protocols []string
+	// Workers bounds how many simulations the batch runner executes
+	// concurrently in the sweep figures (0 = GOMAXPROCS). Results never
+	// depend on it; see internal/runner.
+	Workers int
+	// Progress, when non-nil, receives batch-runner progress snapshots
+	// while the simulation sweeps run.
+	Progress func(runner.Progress)
+}
+
+// runnerOptions maps the experiment options onto batch-runner options.
+func (o *SimOptions) runnerOptions() runner.Options {
+	return runner.Options{Workers: o.Workers, Progress: o.Progress}
 }
 
 // PaperSimOptions reproduces the paper's evaluation parameters in full:

@@ -1,0 +1,127 @@
+package runner_test
+
+// The headline determinism property: a batch's aggregate output is a pure
+// function of its job slice, so runner.Run with workers=1 and workers=8
+// must produce byte-identical metrics.Aggregate values. This is what lets
+// every sweep in the repository parallelize freely without losing
+// reproducibility.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"ldcflood/internal/flood"
+	"ldcflood/internal/metrics"
+	"ldcflood/internal/rngutil"
+	"ldcflood/internal/runner"
+	"ldcflood/internal/schedule"
+	"ldcflood/internal/sim"
+	"ldcflood/internal/topology"
+)
+
+func TestDeterminismAcrossWorkers(t *testing.T) {
+	combos := []struct {
+		name  string
+		graph *topology.Graph
+		proto string
+	}{
+		{"line-opt", topology.Line(12, 0.9), "opt"},
+		{"grid-dbao", topology.Grid(4, 4, 0.85), "dbao"},
+		{"ring-of", topology.Ring(16, 0.9), "of"},
+		{"complete-naive", topology.Complete(8, 0.7), "naive"},
+	}
+	const runs = 6
+	for _, c := range combos {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			build := func() []sim.Config {
+				jobs := make([]sim.Config, runs)
+				for i, seed := range runner.Seeds(42, runs) {
+					p, err := flood.New(c.proto)
+					if err != nil {
+						t.Fatal(err)
+					}
+					jobs[i] = sim.Config{
+						Graph:     c.graph,
+						Schedules: schedule.AssignUniform(c.graph.N(), 5, rngutil.New(seed).SubName("schedule")),
+						Protocol:  p,
+						M:         4,
+						Coverage:  0.95,
+						Seed:      seed,
+					}
+				}
+				return jobs
+			}
+			aggregate := func(workers int) string {
+				rs, stats := runner.Run(context.Background(), build(), runner.Options{Workers: workers})
+				sims, err := rs.Sims()
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if stats.Failed != 0 || stats.Jobs != runs {
+					t.Fatalf("workers=%d: stats %+v", workers, stats)
+				}
+				agg, err := metrics.Combine(sims)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				// %#v dumps every exported field, so equal strings mean
+				// byte-identical aggregates (NaNs render identically too,
+				// which reflect.DeepEqual would reject).
+				return fmt.Sprintf("%#v", *agg)
+			}
+			sequential := aggregate(1)
+			parallel := aggregate(8)
+			if sequential != parallel {
+				t.Errorf("workers=1 and workers=8 diverged:\n  seq: %s\n  par: %s", sequential, parallel)
+			}
+			// And the property is stable across repetition, not a fluke of
+			// one interleaving.
+			if again := aggregate(8); again != parallel {
+				t.Errorf("two workers=8 batches diverged:\n  1st: %s\n  2nd: %s", parallel, again)
+			}
+		})
+	}
+}
+
+// TestDeterminismPerJobResults sharpens the aggregate property: every
+// individual job result must match a direct, single-threaded sim.Run of
+// the same config, field for field.
+func TestDeterminismPerJobResults(t *testing.T) {
+	g := topology.Grid(3, 5, 0.9)
+	build := func() []sim.Config {
+		jobs := make([]sim.Config, 5)
+		for i, seed := range runner.Seeds(9, len(jobs)) {
+			p, err := flood.New("dbao")
+			if err != nil {
+				t.Fatal(err)
+			}
+			jobs[i] = sim.Config{
+				Graph:     g,
+				Schedules: schedule.AssignUniform(g.N(), 4, rngutil.New(seed).SubName("schedule")),
+				Protocol:  p,
+				M:         3,
+				Coverage:  1,
+				Seed:      seed,
+			}
+		}
+		return jobs
+	}
+	rs, _ := runner.Run(context.Background(), build(), runner.Options{Workers: 4})
+	direct := build()
+	for i := range direct {
+		want, err := sim.Run(direct[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := rs[i].Res
+		if rs[i].Err != nil {
+			t.Fatalf("job %d: %v", i, rs[i].Err)
+		}
+		if fmt.Sprintf("%#v", *got) != fmt.Sprintf("%#v", *want) {
+			t.Fatalf("job %d diverged from direct run", i)
+		}
+	}
+}

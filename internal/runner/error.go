@@ -1,0 +1,90 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kind classifies why a job failed.
+type Kind int
+
+const (
+	// KindSim: the simulation engine returned an ordinary error (invalid
+	// config, a protocol contract violation, or a caller-supplied
+	// Interrupt hook firing).
+	KindSim Kind = iota
+	// KindPanic: the job panicked; JobError.Stack holds the trace.
+	KindPanic
+	// KindTimeout: the job exceeded Options.Timeout.
+	KindTimeout
+	// KindSlotLimit: the job exceeded Options.SlotLimit.
+	KindSlotLimit
+	// KindCanceled: the batch context was cancelled before or while the
+	// job ran.
+	KindCanceled
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindSim:
+		return "sim error"
+	case KindPanic:
+		return "panic"
+	case KindTimeout:
+		return "timeout"
+	case KindSlotLimit:
+		return "slot limit"
+	case KindCanceled:
+		return "canceled"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Sentinel errors matched by errors.Is against a *JobError, one per
+// abnormal Kind.
+var (
+	ErrPanic     = errors.New("runner: job panicked")
+	ErrTimeout   = errors.New("runner: job exceeded wall-clock timeout")
+	ErrSlotLimit = errors.New("runner: job exceeded slot limit")
+	ErrCanceled  = errors.New("runner: batch canceled")
+)
+
+// JobError reports one failed job. It wraps both the sentinel for its Kind
+// and the underlying cause, so errors.Is works against either (e.g.
+// errors.Is(err, runner.ErrTimeout), errors.Is(err, context.Canceled)).
+type JobError struct {
+	// Index is the job's position in the input slice.
+	Index int
+	// Kind classifies the failure.
+	Kind Kind
+	// Err is the underlying cause: the engine error, the recovered panic
+	// value, or the context error.
+	Err error
+	// Stack is the goroutine stack captured at recovery; KindPanic only.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *JobError) Error() string {
+	return fmt.Sprintf("runner: job %d: %s: %v", e.Index, e.Kind, e.Err)
+}
+
+// Unwrap exposes the Kind sentinel and the underlying cause.
+func (e *JobError) Unwrap() []error {
+	var out []error
+	switch e.Kind {
+	case KindPanic:
+		out = append(out, ErrPanic)
+	case KindTimeout:
+		out = append(out, ErrTimeout)
+	case KindSlotLimit:
+		out = append(out, ErrSlotLimit)
+	case KindCanceled:
+		out = append(out, ErrCanceled)
+	}
+	if e.Err != nil {
+		out = append(out, e.Err)
+	}
+	return out
+}

@@ -1,0 +1,246 @@
+// Package runner executes batches of simulation jobs on a bounded worker
+// pool with deterministic, input-ordered results.
+//
+// Every multi-run workload in this repository — the Fig. 9-11 evaluation
+// sweeps, cmd/sweep's protocol × duty × seed grid, Monte-Carlo repetition
+// batches — has the same shape: many independent sim.Config jobs whose
+// outputs are aggregated afterwards. The runner makes that shape cheap and
+// safe:
+//
+//   - Bounded parallelism. Options.Workers (default GOMAXPROCS) caps
+//     concurrent simulations instead of spawning one goroutine per job.
+//   - Determinism. sim.Run is bit-for-bit reproducible for a given Config,
+//     the runner injects no randomness, and results land in input order,
+//     so a batch's output is a pure function of its job slice — identical
+//     for workers=1 and workers=N. Seeds derives decorrelated per-job
+//     seeds from one base seed to keep it that way.
+//   - Fault isolation. A job that panics, exceeds its wall-clock or slot
+//     budget, or is overtaken by context cancellation becomes a typed
+//     *JobError in its result slot; the rest of the batch completes.
+//   - Observability. Options.Progress streams per-job completion
+//     snapshots (jobs done, failures, slots simulated, elapsed time) that
+//     cmd/sweep and cmd/figures surface.
+//
+// See docs/RUNNER.md for the full semantics.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ldcflood/internal/sim"
+)
+
+// Options configures a batch run. The zero value is valid: GOMAXPROCS
+// workers, no timeout, no slot limit, no progress hook.
+type Options struct {
+	// Workers bounds how many jobs simulate concurrently; <= 0 uses
+	// runtime.GOMAXPROCS(0). The worker count affects wall-clock time
+	// only, never results.
+	Workers int
+	// Timeout is the per-job wall-clock budget. A job that exceeds it is
+	// interrupted and reported as a *JobError of kind KindTimeout while
+	// the rest of the batch keeps running. 0 means no limit. Because wall
+	// clocks depend on machine load, leave Timeout zero when byte-identical
+	// batch output matters more than bounded latency.
+	Timeout time.Duration
+	// SlotLimit is the per-job simulated-slot budget. Unlike
+	// sim.Config.MaxSlots — which ends a run gracefully with
+	// Completed=false — exceeding SlotLimit fails the job with a *JobError
+	// of kind KindSlotLimit. Being measured in simulated time, it is
+	// deterministic, unlike Timeout. 0 means no limit.
+	SlotLimit int64
+	// Progress, when non-nil, is called after every job finishes (success
+	// or failure). Calls are serialized by the runner, so the hook need
+	// not be safe for concurrent use; it runs on worker goroutines and
+	// must be fast.
+	Progress func(Progress)
+}
+
+// Progress is a snapshot of batch progress passed to Options.Progress.
+type Progress struct {
+	Done    int           // jobs finished so far, failures included
+	Failed  int           // jobs finished with a *JobError
+	Total   int           // batch size
+	Slots   int64         // simulated slots completed so far
+	Elapsed time.Duration // wall-clock time since the batch started
+}
+
+// Stats summarizes a finished batch.
+type Stats struct {
+	Jobs   int           // batch size
+	Failed int           // jobs that ended in a *JobError
+	Slots  int64         // simulated slots across all successful jobs
+	Wall   time.Duration // wall-clock time for the whole batch
+}
+
+// Result is one job's outcome. Exactly one of Res and Err is non-nil.
+type Result struct {
+	Index int         // position in the input slice
+	Res   *sim.Result // simulation output, nil on failure
+	Err   error       // nil, or a *JobError describing the failure
+}
+
+// Results is a batch outcome in input order: rs[i] belongs to jobs[i].
+type Results []Result
+
+// Err returns the first job failure in input order, or nil.
+func (rs Results) Err() error {
+	for i := range rs {
+		if rs[i].Err != nil {
+			return rs[i].Err
+		}
+	}
+	return nil
+}
+
+// Sims unwraps the per-job simulation results, in input order, failing on
+// the batch's first job error.
+func (rs Results) Sims() ([]*sim.Result, error) {
+	if err := rs.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]*sim.Result, len(rs))
+	for i := range rs {
+		out[i] = rs[i].Res
+	}
+	return out, nil
+}
+
+// Run executes jobs on a bounded worker pool and returns one Result per
+// job in input order, plus batch statistics.
+//
+// Determinism: results depend only on the job slice — not on
+// Options.Workers, machine load, or completion order — because each job's
+// randomness is fully determined by its Config and the runner assigns
+// results by input index. Options.Timeout is the one escape hatch: it
+// trades that guarantee for bounded latency.
+//
+// Fault isolation: a job that panics, exceeds Timeout or SlotLimit, or is
+// overtaken by ctx cancellation yields a *JobError in its slot; other jobs
+// are unaffected. Once ctx is cancelled, running jobs are interrupted at
+// their next poll and jobs not yet started fail immediately without
+// simulating anything.
+func Run(ctx context.Context, jobs []sim.Config, opts Options) (Results, Stats) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	results := make(Results, len(jobs))
+	start := time.Now()
+	var (
+		mu     sync.Mutex
+		done   int
+		failed int
+		slots  int64
+		next   atomic.Int64
+		wg     sync.WaitGroup
+	)
+	finish := func(i int, res *sim.Result, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		results[i] = Result{Index: i, Res: res, Err: err}
+		done++
+		if err != nil {
+			failed++
+		}
+		if res != nil {
+			slots += res.TotalSlots
+		}
+		if opts.Progress != nil {
+			opts.Progress(Progress{
+				Done: done, Failed: failed, Total: len(jobs),
+				Slots: slots, Elapsed: time.Since(start),
+			})
+		}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					finish(i, nil, &JobError{Index: i, Kind: KindCanceled, Err: err})
+					continue
+				}
+				res, err := runJob(ctx, i, jobs[i], opts)
+				finish(i, res, err)
+			}
+		}()
+	}
+	wg.Wait()
+	return results, Stats{Jobs: len(jobs), Failed: failed, Slots: slots, Wall: time.Since(start)}
+}
+
+// pollEvery is how many slots pass between the comparatively expensive
+// context and clock checks inside the engine's Interrupt hook. The slot
+// limit is checked every slot so it stays exact.
+const pollEvery = 64
+
+// runJob executes one job with panic recovery and interrupt plumbing.
+func runJob(ctx context.Context, index int, cfg sim.Config, opts Options) (res *sim.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = &JobError{
+				Index: index,
+				Kind:  KindPanic,
+				Err:   fmt.Errorf("panic: %v", r),
+				Stack: debug.Stack(),
+			}
+		}
+	}()
+
+	var deadline time.Time
+	if opts.Timeout > 0 {
+		deadline = time.Now().Add(opts.Timeout)
+	}
+	// kind records why our hook aborted the run; it stays KindSim when the
+	// engine fails on its own (or a caller-supplied hook fires).
+	kind := KindSim
+	prev := cfg.Interrupt
+	var polls int64
+	cfg.Interrupt = func(slot int64) bool {
+		if prev != nil && prev(slot) {
+			return true
+		}
+		if opts.SlotLimit > 0 && slot >= opts.SlotLimit {
+			kind = KindSlotLimit
+			return true
+		}
+		if polls++; polls%pollEvery != 0 {
+			return false
+		}
+		if ctx.Err() != nil {
+			kind = KindCanceled
+			return true
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			kind = KindTimeout
+			return true
+		}
+		return false
+	}
+
+	r, err := sim.Run(cfg)
+	if err != nil {
+		return nil, &JobError{Index: index, Kind: kind, Err: err}
+	}
+	return r, nil
+}

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"ldcflood/internal/topology"
+)
+
+func TestCoverTarget(t *testing.T) {
+	cases := []struct {
+		coverage float64
+		n        int
+		want     int
+	}{
+		// Zero coverage clamps up to one node (Run defaults Coverage 0 to
+		// 0.99 before computing the target, but the helper must still be
+		// total).
+		{0, 298, 1},
+		{0, 1, 1},
+		// Tiny coverage still needs at least the source.
+		{1e-12, 298, 1},
+		{1e-12, 4, 1},
+		// Exact products must not round up an extra node.
+		{0.5, 10, 5},
+		{0.25, 8, 2},
+		{0.5, 2, 1},
+		// Fractional products round up (⌈·⌉).
+		{0.99, 298, 296}, // the paper's GreenOrbs target: ⌈295.02⌉
+		{0.99, 100, 99},
+		{0.99, 4, 4},
+		{0.999, 4, 4},
+		{0.34, 3, 2},
+		// Full coverage is everybody, never n+1.
+		{1.0, 298, 298},
+		{1.0, 1, 1},
+		{1.0, 7, 7},
+	}
+	for _, c := range cases {
+		if got := coverTarget(c.coverage, c.n); got != c.want {
+			t.Errorf("coverTarget(%v, %d) = %d, want %d", c.coverage, c.n, got, c.want)
+		}
+	}
+}
+
+func TestCoverTargetReachesResult(t *testing.T) {
+	g := topology.Line(4, 1)
+	res, err := Run(Config{Graph: g, Schedules: alwaysOn(4), Protocol: chain{}, M: 1, Coverage: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CoverNodes != 4 {
+		t.Fatalf("CoverNodes = %d, want 4", res.CoverNodes)
+	}
+}
+
+func TestInterruptAbortsRun(t *testing.T) {
+	g := topology.Line(4, 1)
+	var polled []int64
+	_, err := Run(Config{
+		Graph:     g,
+		Schedules: alwaysOn(4),
+		Protocol:  silent{}, // never covers: only the hook can end the run early
+		M:         1,
+		Coverage:  1,
+		Seed:      1,
+		MaxSlots:  1 << 20,
+		Interrupt: func(slot int64) bool {
+			polled = append(polled, slot)
+			return slot >= 10
+		},
+	})
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	if len(polled) != 11 || polled[10] != 10 {
+		t.Fatalf("hook polled %d times (last %v), want once per slot through slot 10",
+			len(polled), polled[len(polled)-1])
+	}
+}
+
+func TestInterruptNilIsNoop(t *testing.T) {
+	g := topology.Line(4, 1)
+	res, err := Run(Config{Graph: g, Schedules: alwaysOn(4), Protocol: chain{}, M: 2, Coverage: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("run incomplete")
+	}
+}

@@ -1,12 +1,33 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"ldcflood/internal/rngutil"
 	"ldcflood/internal/schedule"
 )
+
+// ErrInterrupted is wrapped by the error Run returns when a
+// Config.Interrupt hook aborts the run; test for it with errors.Is. The
+// batch runner (internal/runner) relies on it to distinguish an imposed
+// timeout or cancellation from an engine failure.
+var ErrInterrupted = errors.New("sim: run interrupted")
+
+// coverTarget returns the node count that defines packet completion,
+// ⌈coverage·n⌉ clamped to [1, n].
+func coverTarget(coverage float64, n int) int {
+	c := int(math.Ceil(coverage * float64(n)))
+	if c < 1 {
+		c = 1
+	}
+	if c > n {
+		c = n
+	}
+	return c
+}
 
 // Run executes one simulation until every packet reaches the coverage
 // target or the slot horizon expires. Runs are bit-for-bit reproducible for
@@ -24,13 +45,7 @@ func Run(cfg Config) (*Result, error) {
 		coverage = 0.99
 	}
 	n := cfg.Graph.N()
-	coverNodes := int(coverage*float64(n) + 0.999999)
-	if coverNodes < 1 {
-		coverNodes = 1
-	}
-	if coverNodes > n {
-		coverNodes = n
-	}
+	coverNodes := coverTarget(coverage, n)
 	maxPeriod := 1
 	for _, s := range cfg.Schedules {
 		if s.Period() > maxPeriod {
@@ -97,6 +112,10 @@ func Run(cfg Config) (*Result, error) {
 	byReceiver := make(map[int][]Intent)
 
 	for t := int64(0); t < maxSlots && covered < cfg.M; t++ {
+		if cfg.Interrupt != nil && cfg.Interrupt(t) {
+			return nil, fmt.Errorf("sim: %s aborted at slot %d: %w",
+				cfg.Protocol.Name(), t, ErrInterrupted)
+		}
 		w.now = t
 		// Injection: packet p enters at slot p×interval.
 		for w.injected < cfg.M && t == int64(w.injected)*int64(interval) {

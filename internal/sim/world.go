@@ -285,6 +285,13 @@ type Config struct {
 	// AdaptEvery is the adaptation epoch in slots; required > 0 when Adapt
 	// is set.
 	AdaptEvery int64
+	// Interrupt, when non-nil, is polled once at the top of every slot.
+	// Returning true aborts the run immediately with an error wrapping
+	// ErrInterrupted. The hook runs on the engine's hot path and must be
+	// cheap; the batch runner (internal/runner) uses it to impose
+	// wall-clock timeouts, slot budgets, and context cancellation without
+	// leaking a runaway simulation goroutine.
+	Interrupt func(slot int64) bool
 }
 
 func (c *Config) validate() error {
