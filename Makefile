@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race bench figures figures-quick examples clean
+.PHONY: all build vet test test-short test-race bench bench-engine docscheck figures figures-quick examples clean
 
 all: build vet test
 
@@ -24,8 +24,18 @@ test-short:
 test-race:
 	$(GO) test -race -short ./...
 
-bench:
+bench: bench-engine
 	$(GO) test -bench=. -benchmem ./...
+
+# Refresh the committed engine-throughput baseline (slow vs compact path
+# on the BenchmarkEngine grid); fails if the two paths ever diverge.
+bench-engine:
+	$(GO) run ./cmd/engbench -o BENCH_engine.json
+
+# Documentation lints (mirrored in CI): godoc coverage + markdown links.
+docscheck:
+	$(GO) run ./cmd/doccheck internal cmd
+	$(GO) run ./cmd/linkcheck README.md CHANGELOG.md CONTRIBUTING.md DESIGN.md EXPERIMENTS.md ROADMAP.md docs/*.md
 
 # Regenerate every paper table/figure at full scale (M=100).
 figures:

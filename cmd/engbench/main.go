@@ -1,0 +1,173 @@
+// Command engbench produces the committed engine-throughput baseline
+// BENCH_engine.json: the BenchmarkEngine grid (298-node GreenOrbs ×
+// {OPT, DBAO, OF} × duty {1%, 5%}) timed with the slot-by-slot reference
+// path and the compact-time fast path side by side.
+//
+// Each case runs -reps times per path through the batch runner
+// (single-worker, so timings are not perturbed by sibling jobs) and
+// reports the minimum wall-clock per run — the least noisy estimator on a
+// shared machine. The slow and compact results of every case are compared
+// field-for-field; a mismatch fails the command, so a committed baseline
+// also certifies fast-path equivalence on the full grid.
+//
+// Usage:
+//
+//	go run ./cmd/engbench [-reps 5] [-o BENCH_engine.json]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+	"time"
+
+	"ldcflood/internal/flood"
+	"ldcflood/internal/rngutil"
+	"ldcflood/internal/runner"
+	"ldcflood/internal/schedule"
+	"ldcflood/internal/sim"
+	"ldcflood/internal/topology"
+)
+
+// benchCase is one grid cell of the committed baseline.
+type benchCase struct {
+	Protocol string `json:"protocol"`
+	Duty     string `json:"duty"`
+	Period   int    `json:"period"`
+	// SlowNS / CompactNS are minimum wall-clock nanoseconds per run over
+	// -reps repetitions of each path.
+	SlowNS    int64 `json:"slow_ns"`
+	CompactNS int64 `json:"compact_ns"`
+	// Speedup = SlowNS / CompactNS.
+	Speedup float64 `json:"speedup"`
+	// Slots is the simulated-slot horizon of the run (identical for both
+	// paths — the fast path skips visiting slots, not simulating them).
+	Slots int64 `json:"slots"`
+	// Identical records that the two paths produced field-for-field equal
+	// sim.Results; engbench fails before writing output if any case is
+	// false, so a committed file always says true.
+	Identical bool `json:"identical"`
+}
+
+// baseline is the BENCH_engine.json document.
+type baseline struct {
+	Generator string      `json:"generator"`
+	Topology  string      `json:"topology"`
+	Nodes     int         `json:"nodes"`
+	M         int         `json:"m"`
+	Coverage  float64     `json:"coverage"`
+	Seed      int64       `json:"seed"`
+	Reps      int         `json:"reps"`
+	Cases     []benchCase `json:"cases"`
+}
+
+func main() {
+	reps := flag.Int("reps", 5, "repetitions per case per path; the minimum wall-clock is reported")
+	out := flag.String("o", "BENCH_engine.json", "output file")
+	flag.Parse()
+
+	doc, err := measure(*reps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "engbench:", err)
+		os.Exit(1)
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "engbench:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "engbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d cases)\n", *out, len(doc.Cases))
+}
+
+// measure runs the full grid and assembles the baseline document.
+func measure(reps int) (*baseline, error) {
+	g := topology.GreenOrbs(1)
+	doc := &baseline{
+		Generator: "cmd/engbench",
+		Topology:  "greenorbs",
+		Nodes:     g.N(),
+		M:         10,
+		Coverage:  0.99,
+		Seed:      1,
+		Reps:      reps,
+	}
+	for _, duty := range []struct {
+		name   string
+		period int
+	}{
+		{"1pct", 100},
+		{"5pct", 20},
+	} {
+		scheds := schedule.AssignUniform(g.N(), duty.period, rngutil.New(1).SubName("schedule"))
+		for _, name := range []string{"opt", "dbao", "of"} {
+			c := benchCase{Protocol: name, Duty: duty.name, Period: duty.period}
+			slowNS, slowRes, err := timeCase(g, scheds, name, false, reps)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s slow: %w", name, duty.name, err)
+			}
+			compactNS, compactRes, err := timeCase(g, scheds, name, true, reps)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s compact: %w", name, duty.name, err)
+			}
+			c.SlowNS, c.CompactNS = slowNS, compactNS
+			c.Speedup = float64(slowNS) / float64(compactNS)
+			c.Slots = slowRes.TotalSlots
+			c.Identical = reflect.DeepEqual(slowRes, compactRes)
+			if !c.Identical {
+				return nil, fmt.Errorf("%s/%s: compact path diverged from the reference path", name, duty.name)
+			}
+			fmt.Printf("%-5s duty=%s  slow=%8.2fms  compact=%8.2fms  speedup=%.2fx\n",
+				name, duty.name, float64(slowNS)/1e6, float64(compactNS)/1e6, c.Speedup)
+			doc.Cases = append(doc.Cases, c)
+		}
+	}
+	return doc, nil
+}
+
+// timeCase runs one (protocol, duty, path) cell reps times through the
+// single-worker batch runner and returns the minimum wall-clock per run
+// plus the (deterministic, rep-independent) simulation result.
+func timeCase(g *topology.Graph, scheds []*schedule.Schedule, name string, compact bool, reps int) (int64, *sim.Result, error) {
+	p, err := flood.New(name)
+	if err != nil {
+		return 0, nil, err
+	}
+	cfg := sim.Config{
+		Graph:       g,
+		Schedules:   scheds,
+		Protocol:    p,
+		M:           10,
+		Coverage:    0.99,
+		Seed:        1,
+		CompactTime: compact,
+	}
+	// Warm-up run: lets the protocol's Reset memoization (carrier-sense
+	// matrix, energy-optimal tree) build once outside the timed region,
+	// exactly as it amortizes across a sweep's runs.
+	warm, _ := runner.Run(context.Background(), []sim.Config{cfg}, runner.Options{Workers: 1})
+	if err := warm.Err(); err != nil {
+		return 0, nil, err
+	}
+	var best time.Duration
+	for i := 0; i < reps; i++ {
+		rs, st := runner.Run(context.Background(), []sim.Config{cfg}, runner.Options{Workers: 1})
+		if err := rs.Err(); err != nil {
+			return 0, nil, err
+		}
+		if !rs[0].Res.Completed {
+			return 0, nil, fmt.Errorf("run did not complete within %d slots", rs[0].Res.TotalSlots)
+		}
+		if i == 0 || st.Wall < best {
+			best = st.Wall
+		}
+	}
+	return best.Nanoseconds(), warm[0].Res, nil
+}

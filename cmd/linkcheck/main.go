@@ -1,0 +1,134 @@
+// Command linkcheck validates the local links in the repository's
+// markdown documentation. For every `[text](target)` in the given files
+// it checks that a relative target exists on disk and, when the target
+// carries a #fragment into a markdown file, that the fragment matches a
+// heading's GitHub-style anchor. External links (http, https, mailto) are
+// deliberately not fetched — CI must not depend on the network.
+//
+// Usage:
+//
+//	go run ./cmd/linkcheck README.md docs/*.md
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches inline markdown links and images: [text](target) with an
+// optional title. Targets containing spaces or nested parens are not used
+// in this repository's docs.
+var linkRE = regexp.MustCompile(`\]\(([^()\s]+)(?:\s+"[^"]*")?\)`)
+
+// headingRE matches ATX headings, whose text defines anchor slugs.
+var headingRE = regexp.MustCompile(`(?m)^#{1,6}\s+(.+?)\s*#*\s*$`)
+
+func main() {
+	files := os.Args[1:]
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: linkcheck file.md ...")
+		os.Exit(2)
+	}
+	anchors := map[string]map[string]bool{} // file -> slug set, lazily built
+	broken := 0
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "linkcheck:", err)
+			os.Exit(1)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+				if msg := checkTarget(f, m[1], anchors); msg != "" {
+					fmt.Fprintf(os.Stderr, "%s:%d: %s\n", f, i+1, msg)
+					broken++
+				}
+			}
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken link(s)\n", broken)
+		os.Exit(1)
+	}
+}
+
+// checkTarget validates one link target found in file; it returns a
+// problem description or "" when the link is fine.
+func checkTarget(file, target string, anchors map[string]map[string]bool) string {
+	switch {
+	case strings.HasPrefix(target, "http://"),
+		strings.HasPrefix(target, "https://"),
+		strings.HasPrefix(target, "mailto:"):
+		return "" // external; not checked
+	}
+	path, frag, _ := strings.Cut(target, "#")
+	dest := file
+	if path != "" {
+		dest = filepath.Join(filepath.Dir(file), path)
+		if _, err := os.Stat(dest); err != nil {
+			return fmt.Sprintf("broken link %q: %s does not exist", target, dest)
+		}
+	}
+	if frag == "" || !strings.HasSuffix(dest, ".md") {
+		return ""
+	}
+	set, ok := anchors[dest]
+	if !ok {
+		var err error
+		set, err = headingAnchors(dest)
+		if err != nil {
+			return fmt.Sprintf("broken link %q: %v", target, err)
+		}
+		anchors[dest] = set
+	}
+	if !set[strings.ToLower(frag)] {
+		return fmt.Sprintf("broken link %q: no heading with anchor #%s in %s", target, frag, dest)
+	}
+	return ""
+}
+
+// headingAnchors parses a markdown file and returns the set of GitHub
+// anchor slugs its headings generate (duplicates get -1, -2, … suffixes).
+func headingAnchors(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	set := map[string]bool{}
+	counts := map[string]int{}
+	for _, m := range headingRE.FindAllStringSubmatch(string(data), -1) {
+		slug := slugify(m[1])
+		if n := counts[slug]; n > 0 {
+			set[fmt.Sprintf("%s-%d", slug, n)] = true
+		} else {
+			set[slug] = true
+		}
+		counts[slug]++
+	}
+	return set, nil
+}
+
+// slugify reproduces GitHub's heading-to-anchor transformation closely
+// enough for this repository: inline markup is stripped, the text is
+// lowercased, spaces become hyphens, and everything but letters, digits,
+// hyphens, and underscores is dropped.
+func slugify(heading string) string {
+	// Strip inline code/emphasis markers and link syntax before slugging.
+	h := strings.NewReplacer("`", "", "*", "", "_", "_").Replace(heading)
+	if m := linkRE.FindStringSubmatchIndex(h); m != nil {
+		h = regexp.MustCompile(`\[([^\]]*)\]\([^)]*\)`).ReplaceAllString(h, "$1")
+	}
+	var b strings.Builder
+	for _, r := range strings.ToLower(h) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '_', r == '-':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteRune('-')
+		}
+	}
+	return b.String()
+}

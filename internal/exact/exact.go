@@ -79,8 +79,13 @@ func OptimalSlots(cfg Config) (Result, error) {
 	// An upper bound on useful depth: Algorithm 1's Table I bound plus
 	// injection time, padded.
 	maxDepth := 4*(cfg.M+cfg.N+4) + 16
+	// next, seen and succBuf are reused across BFS layers (cleared, not
+	// reallocated) — the per-layer map churn dominated the profile.
+	next := make(map[state]bool)
+	seen := make(map[state]bool)
+	var succBuf []state
 	for slot := 0; slot <= maxDepth; slot++ {
-		next := make(map[state]bool)
+		clear(next)
 		for _, s := range frontier {
 			// Inject packet `slot` at the source.
 			if slot < cfg.M {
@@ -95,7 +100,8 @@ func OptimalSlots(cfg Config) (Result, error) {
 			}
 			visited[k] = true
 			explored++
-			for _, succ := range successors(s, nodes, cfg.M) {
+			succBuf = appendSuccessors(succBuf[:0], seen, s, nodes, cfg.M)
+			for _, succ := range succBuf {
 				next[canon(succ)] = true
 			}
 		}
@@ -153,14 +159,15 @@ func canonicalizer(nodes, m int) func(state) state {
 	}
 }
 
-// successors enumerates every reachable next state: a set of transmissions
-// where each sender sends one held packet to one node that lacks it, with
-// every node transmitting at most once and receiving at most once. To keep
-// the branching factor manageable the enumeration is a recursive assignment
-// over senders (each sender idles or picks a packet+receiver), deduplicated
-// by the resulting state.
-func successors(s state, nodes, m int) []state {
-	seen := map[state]bool{}
+// appendSuccessors appends to dst every reachable next state: a set of
+// transmissions where each sender sends one held packet to one node that
+// lacks it, with every node transmitting at most once and receiving at most
+// once. To keep the branching factor manageable the enumeration is a
+// recursive assignment over senders (each sender idles or picks a
+// packet+receiver), deduplicated by the resulting state. seen is caller
+// scratch (cleared here) so the hot BFS loop allocates nothing per call.
+func appendSuccessors(dst []state, seen map[state]bool, s state, nodes, m int) []state {
+	clear(seen)
 	var rec func(sender int, cur state, rxBusy, txBusy uint32)
 	rec = func(sender int, cur state, rxBusy, txBusy uint32) {
 		if sender == nodes {
@@ -189,11 +196,10 @@ func successors(s state, nodes, m int) []state {
 		}
 	}
 	rec(0, s, 0, 0)
-	out := make([]state, 0, len(seen))
 	for st := range seen {
-		out = append(out, st)
+		dst = append(dst, st)
 	}
-	return out
+	return dst
 }
 
 // PopCount returns the number of (packet, node) possession bits set —

@@ -1,7 +1,7 @@
 package flood
 
 import (
-	"sort"
+	"slices"
 
 	"ldcflood/internal/sim"
 	"ldcflood/internal/topology"
@@ -36,8 +36,39 @@ type DBAO struct {
 	// DisableOverhearing turns the overhearing mechanism off (ablation).
 	DisableOverhearing bool
 
-	assigned []bool
-	audible  [][]uint64 // carrier-sense audibility bitset
+	assigned  []bool
+	audible   [][]uint64 // carrier-sense audibility bitset
+	intentBuf []sim.Intent
+	candBuf   []dbaoCand
+	firingBuf []dbaoCand
+
+	// csGraph / csFactor memoize the audibility matrix: graphs are immutable
+	// by convention, so repeated runs over the same topology (sweeps, the
+	// batch runner) skip the O(n²) rebuild.
+	csGraph  *topology.Graph
+	csFactor float64
+}
+
+// dbaoCand is one back-off candidate: a neighbor holding a packet the
+// waking receiver needs, with the link quality that ranks it. The FCFS
+// packet it would send is computed only for the candidates that actually
+// fire (the world is frozen during Intents, so deferring the OldestNeeded
+// scan is exact).
+type dbaoCand struct {
+	node int
+	prr  float64
+}
+
+// dbaoRank orders candidates by the deterministic back-off rank: best link
+// quality first, node id breaking ties.
+func dbaoRank(a, b dbaoCand) int {
+	if a.prr != b.prr {
+		if a.prr > b.prr {
+			return -1
+		}
+		return 1
+	}
+	return a.node - b.node
 }
 
 // NewDBAO returns a fresh DBAO instance with default parameters.
@@ -55,7 +86,10 @@ func (d *DBAO) Reset(w *sim.World) {
 	if d.HiddenFireProb <= 0 {
 		d.HiddenFireProb = 0.5
 	}
-	d.audible = carrierSenseBitset(w.Graph, d.CSRangeFactor)
+	if d.csGraph != w.Graph || d.csFactor != d.CSRangeFactor {
+		d.audible = carrierSenseBitset(w.Graph, d.CSRangeFactor)
+		d.csGraph, d.csFactor = w.Graph, d.CSRangeFactor
+	}
 }
 
 // carrierSenseBitset returns the audibility matrix: with positions, nodes
@@ -72,6 +106,12 @@ func carrierSenseBitset(g *topology.Graph, csFactor float64) [][]uint64 {
 		}
 	}
 	csRange := csFactor * maxLink
+	// The O(n²) pair loop compares squared distances to avoid a Hypot per
+	// pair; the correctly-rounded Dist comparison is consulted only inside a
+	// narrow band around the threshold where dx²+dy² rounding could disagree.
+	cs2 := csRange * csRange
+	lo := cs2 * (1 - 1e-9)
+	hi := cs2 * (1 + 1e-9)
 	n := g.N()
 	words := (n + 63) / 64
 	b := make([][]uint64, n)
@@ -80,8 +120,21 @@ func carrierSenseBitset(g *topology.Graph, csFactor float64) [][]uint64 {
 		b[u] = backing[u*words : (u+1)*words]
 	}
 	for u := 0; u < n; u++ {
+		pu := g.Pos[u]
 		for v := u + 1; v < n; v++ {
-			if g.Pos[u].Dist(g.Pos[v]) <= csRange {
+			pv := g.Pos[v]
+			dx, dy := pu.X-pv.X, pu.Y-pv.Y
+			d2 := dx*dx + dy*dy
+			var audible bool
+			switch {
+			case d2 <= lo:
+				audible = true
+			case d2 >= hi:
+				audible = false
+			default:
+				audible = pu.Dist(pv) <= csRange
+			}
+			if audible {
 				b[u][v/64] |= 1 << (uint(v) % 64)
 				b[v][u/64] |= 1 << (uint(u) % 64)
 			}
@@ -98,50 +151,63 @@ func (d *DBAO) Overhears() bool { return !d.DisableOverhearing }
 
 // Intents implements sim.Protocol.
 func (d *DBAO) Intents(w *sim.World) []sim.Intent {
-	for i := range d.assigned {
-		d.assigned[i] = false
-	}
-	var out []sim.Intent
-	type cand struct {
-		node int
-		prr  float64
-	}
+	out := d.intentBuf[:0]
 	for _, r := range w.AwakeList() {
-		var cands []cand
+		if !w.NeedsAnything(r) {
+			// No neighbor can hold anything r lacks, so the candidate scan
+			// below would admit nobody (and draw no RNG) — skip it.
+			continue
+		}
+		cands := d.candBuf[:0]
 		for _, l := range w.Graph.Neighbors(r) {
 			if d.assigned[l.To] {
 				continue
 			}
-			if w.OldestNeeded(l.To, r) >= 0 && !deferToReception(w, l.To) {
-				cands = append(cands, cand{node: l.To, prr: l.PRR})
+			if w.AnyNeeded(l.To, r) && !deferToReception(w, l.To) {
+				cands = append(cands, dbaoCand{node: l.To, prr: l.PRR})
 			}
 		}
+		d.candBuf = cands
 		if len(cands) == 0 {
 			continue
 		}
 		// Deterministic back-off ranks: best link quality first, node id
 		// breaking ties — every candidate computes the same order locally.
-		sort.Slice(cands, func(i, j int) bool {
-			if cands[i].prr != cands[j].prr {
-				return cands[i].prr > cands[j].prr
+		// Only the rank-ordering of the *hidden* candidates is observable
+		// (their fire/defer draws happen in rank order), so find the winner
+		// with a linear max and sort just the handful of candidates that
+		// cannot hear it, rather than the whole candidate list.
+		wi := 0
+		for i := 1; i < len(cands); i++ {
+			if dbaoRank(cands[i], cands[wi]) < 0 {
+				wi = i
 			}
-			return cands[i].node < cands[j].node
-		})
-		winner := cands[0].node
-		firing := []int{winner}
-		for _, c := range cands[1:] {
-			if topology.BitsetHas(d.audible[c.node], winner) {
+		}
+		winner := cands[wi].node
+		hidden := d.firingBuf[:0]
+		for i, c := range cands {
+			if i == wi || topology.BitsetHas(d.audible[c.node], winner) {
 				continue // carrier sense: hears the winner's earlier start
 			}
+			hidden = append(hidden, c)
+		}
+		d.firingBuf = hidden
+		slices.SortFunc(hidden, dbaoRank)
+		d.assigned[winner] = true
+		out = append(out, sim.Intent{From: winner, To: r, Packet: w.OldestNeeded(winner, r)})
+		for _, c := range hidden {
 			if w.ProtoRNG.Bool(d.HiddenFireProb) {
-				firing = append(firing, c.node)
+				d.assigned[c.node] = true
+				out = append(out, sim.Intent{From: c.node, To: r, Packet: w.OldestNeeded(c.node, r)})
 			}
 		}
-		for _, s := range firing {
-			pkt := w.OldestNeeded(s, r)
-			d.assigned[s] = true
-			out = append(out, sim.Intent{From: s, To: r, Packet: pkt})
-		}
+	}
+	d.intentBuf = out
+	// assigned holds exactly the senders emitted above; clearing those
+	// entries instead of the whole array keeps the reset proportional to
+	// the slot's actual transmissions.
+	for _, in := range out {
+		d.assigned[in.From] = false
 	}
 	return out
 }

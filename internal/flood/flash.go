@@ -11,7 +11,8 @@ import "ldcflood/internal/sim"
 // degenerates into the worst possible protocol, which is itself the
 // instructive ablation.
 type Flash struct {
-	assigned []bool
+	assigned  []bool
+	intentBuf []sim.Intent
 }
 
 // NewFlash returns a fresh Flash instance.
@@ -35,10 +36,7 @@ func (f *Flash) Overhears() bool { return true }
 
 // Intents implements sim.Protocol.
 func (f *Flash) Intents(w *sim.World) []sim.Intent {
-	for i := range f.assigned {
-		f.assigned[i] = false
-	}
-	var out []sim.Intent
+	out := f.intentBuf[:0]
 	for _, r := range w.AwakeList() {
 		for _, l := range w.Graph.Neighbors(r) {
 			s := l.To
@@ -55,6 +53,13 @@ func (f *Flash) Intents(w *sim.World) []sim.Intent {
 			f.assigned[s] = true
 			out = append(out, sim.Intent{From: s, To: r, Packet: pkt})
 		}
+	}
+	f.intentBuf = out
+	// assigned holds exactly the senders emitted above; clearing those
+	// entries instead of the whole array keeps the reset proportional to
+	// the slot's actual transmissions.
+	for _, in := range out {
+		f.assigned[in.From] = false
 	}
 	return out
 }

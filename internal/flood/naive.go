@@ -1,7 +1,7 @@
 package flood
 
 import (
-	"sort"
+	"slices"
 
 	"ldcflood/internal/sim"
 	"ldcflood/internal/topology"
@@ -18,8 +18,15 @@ type Naive struct {
 	// HiddenFireProb mirrors DBAO's hidden-candidate behaviour.
 	HiddenFireProb float64
 
-	assigned []bool
-	audible  [][]uint64
+	assigned  []bool
+	audible   [][]uint64
+	intentBuf []sim.Intent
+	candBuf   []int
+	firingBuf []int
+
+	// csGraph memoizes the audibility matrix across runs over the same
+	// (immutable) topology.
+	csGraph *topology.Graph
 }
 
 // NewNaive returns a fresh Naive instance.
@@ -34,7 +41,10 @@ func (n *Naive) Reset(w *sim.World) {
 	if n.HiddenFireProb <= 0 {
 		n.HiddenFireProb = 0.5
 	}
-	n.audible = carrierSenseBitset(w.Graph, 1.2)
+	if n.csGraph != w.Graph {
+		n.audible = carrierSenseBitset(w.Graph, 1.2)
+		n.csGraph = w.Graph
+	}
 }
 
 // CollisionsApply implements sim.Protocol.
@@ -45,26 +55,29 @@ func (n *Naive) Overhears() bool { return false }
 
 // Intents implements sim.Protocol.
 func (n *Naive) Intents(w *sim.World) []sim.Intent {
-	for i := range n.assigned {
-		n.assigned[i] = false
-	}
-	var out []sim.Intent
+	out := n.intentBuf[:0]
 	for _, r := range w.AwakeList() {
-		var cands []int
+		if !w.NeedsAnything(r) {
+			// No neighbor can hold anything r lacks, so the candidate scan
+			// below would admit nobody (and draw no RNG) — skip it.
+			continue
+		}
+		cands := n.candBuf[:0]
 		for _, l := range w.Graph.Neighbors(r) {
-			if !n.assigned[l.To] && w.OldestNeeded(l.To, r) >= 0 && !deferToReception(w, l.To) {
+			if !n.assigned[l.To] && w.AnyNeeded(l.To, r) && !deferToReception(w, l.To) {
 				cands = append(cands, l.To)
 			}
 		}
+		n.candBuf = cands
 		if len(cands) == 0 {
 			continue
 		}
-		sort.Ints(cands)
+		slices.Sort(cands)
 		// Rotate the rank origin by slot: no quality knowledge, just a
 		// deterministic TDMA-ish rotation every node can compute.
 		rot := int(w.Now()) % len(cands)
 		winner := cands[rot]
-		firing := []int{winner}
+		firing := append(n.firingBuf[:0], winner)
 		for i, c := range cands {
 			if i == rot {
 				continue
@@ -76,11 +89,19 @@ func (n *Naive) Intents(w *sim.World) []sim.Intent {
 				firing = append(firing, c)
 			}
 		}
+		n.firingBuf = firing
 		for _, s := range firing {
 			pkt := w.OldestNeeded(s, r)
 			n.assigned[s] = true
 			out = append(out, sim.Intent{From: s, To: r, Packet: pkt})
 		}
+	}
+	n.intentBuf = out
+	// assigned holds exactly the senders emitted above; clearing those
+	// entries instead of the whole array keeps the reset proportional to
+	// the slot's actual transmissions.
+	for _, in := range out {
+		n.assigned[in.From] = false
 	}
 	return out
 }

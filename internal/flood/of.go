@@ -2,6 +2,7 @@ package flood
 
 import (
 	"ldcflood/internal/sim"
+	"ldcflood/internal/topology"
 	"ldcflood/internal/tree"
 )
 
@@ -22,9 +23,17 @@ type OF struct {
 	// DisableOpportunistic restricts OF to pure tree forwarding (ablation).
 	DisableOpportunistic bool
 
-	tr       *tree.Tree
-	expDelay []float64
-	assigned []bool
+	tr        *tree.Tree
+	expDelay  []float64
+	assigned  []bool
+	intentBuf []sim.Intent
+	pktBuf    []int
+
+	// treeGraph / treePeriod memoize the energy-optimal tree and its
+	// expected-delay distribution across runs over the same (immutable)
+	// topology and schedule period.
+	treeGraph  *topology.Graph
+	treePeriod int
 }
 
 // NewOF returns a fresh OF instance with default parameters.
@@ -36,14 +45,17 @@ func (o *OF) Name() string { return "OF" }
 // Reset implements sim.Protocol: builds the energy-optimal tree and the
 // per-node expected-delay distribution used by forwarding decisions.
 func (o *OF) Reset(w *sim.World) {
-	o.tr = tree.EnergyOptimal(w.Graph, 0)
 	period := w.Schedules[0].Period()
 	for _, s := range w.Schedules {
 		if s.Period() > period {
 			period = s.Period()
 		}
 	}
-	o.expDelay = o.tr.ExpectedDelay(w.Graph, period)
+	if o.treeGraph != w.Graph || o.treePeriod != period {
+		o.tr = tree.EnergyOptimal(w.Graph, 0)
+		o.expDelay = o.tr.ExpectedDelay(w.Graph, period)
+		o.treeGraph, o.treePeriod = w.Graph, period
+	}
 	o.assigned = make([]bool, w.Graph.N())
 	if o.Aggressiveness <= 0 {
 		o.Aggressiveness = 0.25
@@ -59,10 +71,7 @@ func (o *OF) Overhears() bool { return false }
 
 // Intents implements sim.Protocol.
 func (o *OF) Intents(w *sim.World) []sim.Intent {
-	for i := range o.assigned {
-		o.assigned[i] = false
-	}
-	var out []sim.Intent
+	out := o.intentBuf[:0]
 	for _, r := range w.AwakeList() {
 		parent := o.tr.Parent[r]
 		parentServes := false
@@ -83,21 +92,34 @@ func (o *OF) Intents(w *sim.World) []sim.Intent {
 		// candidate density (part of OF's p-value computation) so the
 		// expected number of opportunistic transmissions per wake-up stays
 		// O(Aggressiveness) rather than O(degree).
+		nbrs := w.Graph.Neighbors(r)
+		if cap(o.pktBuf) < len(nbrs) {
+			o.pktBuf = make([]int, len(nbrs))
+		}
+		// pkts caches OldestNeeded per neighbor between the density count and
+		// the firing loop: the world is frozen during Intents, and assigned
+		// only grows between the loops, so every neighbor the firing loop
+		// considers was scanned here.
+		pkts := o.pktBuf[:len(nbrs)]
 		oppCands := 0
-		for _, l := range w.Graph.Neighbors(r) {
-			if l.To != parent && !o.assigned[l.To] && w.OldestNeeded(l.To, r) >= 0 {
-				oppCands++
+		for i, l := range nbrs {
+			pkts[i] = -1
+			if l.To != parent && !o.assigned[l.To] {
+				if pkt := w.OldestNeeded(l.To, r); pkt >= 0 {
+					pkts[i] = pkt
+					oppCands++
+				}
 			}
 		}
 		if oppCands == 0 {
 			continue
 		}
-		for _, l := range w.Graph.Neighbors(r) {
+		for i, l := range nbrs {
 			s := l.To
 			if s == parent || o.assigned[s] {
 				continue
 			}
-			pkt := w.OldestNeeded(s, r)
+			pkt := pkts[i]
 			if pkt < 0 {
 				continue
 			}
@@ -107,6 +129,13 @@ func (o *OF) Intents(w *sim.World) []sim.Intent {
 				out = append(out, sim.Intent{From: s, To: r, Packet: pkt})
 			}
 		}
+	}
+	o.intentBuf = out
+	// assigned holds exactly the senders emitted above; clearing those
+	// entries instead of the whole array keeps the reset proportional to
+	// the slot's actual transmissions.
+	for _, in := range out {
+		o.assigned[in.From] = false
 	}
 	return out
 }

@@ -14,7 +14,8 @@ type OPT struct {
 	// one unicast per slot.
 	DisableOverhearing bool
 
-	assigned []bool
+	assigned  []bool
+	intentBuf []sim.Intent
 }
 
 // NewOPT returns a fresh OPT instance.
@@ -42,18 +43,20 @@ func (o *OPT) Overhears() bool { return !o.DisableOverhearing }
 // A sender serves one receiver per slot (semi-duplex); contended receivers
 // fall back to their next-best holder.
 func (o *OPT) Intents(w *sim.World) []sim.Intent {
-	for i := range o.assigned {
-		o.assigned[i] = false
-	}
-	var out []sim.Intent
+	out := o.intentBuf[:0]
 	for _, r := range w.AwakeList() {
+		if !w.NeedsAnything(r) {
+			// No neighbor can hold anything r lacks, so the selection scan
+			// below would elect nobody (and draw no RNG) — skip it.
+			continue
+		}
 		bestS, bestPRR := -1, 0.0
 		for _, l := range w.Graph.Neighbors(r) {
 			if o.assigned[l.To] {
 				continue
 			}
 			if l.PRR > bestPRR || (l.PRR == bestPRR && bestS >= 0 && l.To < bestS) {
-				if w.OldestNeeded(l.To, r) >= 0 && !deferToReception(w, l.To) {
+				if w.AnyNeeded(l.To, r) && !deferToReception(w, l.To) {
 					bestS, bestPRR = l.To, l.PRR
 				}
 			}
@@ -61,9 +64,15 @@ func (o *OPT) Intents(w *sim.World) []sim.Intent {
 		if bestS < 0 {
 			continue
 		}
-		pkt := w.OldestNeeded(bestS, r)
 		o.assigned[bestS] = true
-		out = append(out, sim.Intent{From: bestS, To: r, Packet: pkt})
+		out = append(out, sim.Intent{From: bestS, To: r, Packet: w.OldestNeeded(bestS, r)})
+	}
+	o.intentBuf = out
+	// assigned holds exactly the senders emitted above; clearing those
+	// entries instead of the whole array keeps the reset proportional to
+	// the slot's actual transmissions.
+	for _, in := range out {
+		o.assigned[in.From] = false
 	}
 	return out
 }

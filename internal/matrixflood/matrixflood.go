@@ -136,15 +136,19 @@ func Run(cfg Config) (Result, error) {
 	}
 
 	done := 0
+	type tx struct {
+		from, to, packet int
+	}
+	// txs and transmitted are reused across slots: the per-slot map/slice
+	// churn showed up in the schedule-length sweeps.
+	var txs []tx
+	transmitted := make([]bool, st.n+1) // target may name node N (index n)
 	for c := 0; c < maxSlots && done < cfg.M; c++ {
 		// Line 2-4: inject packet p = c at the source.
 		if c < cfg.M {
 			st.deliver(c, 0, c)
 		}
-		type tx struct {
-			from, to, packet int
-		}
-		var txs []tx
+		txs = txs[:0]
 		// Lines 5-9: each node 0..N-1 transmits f(i, c).
 		for i := 0; i < st.n; i++ {
 			pkt := st.choosePacket(i, c)
@@ -158,7 +162,6 @@ func Run(cfg Config) (Result, error) {
 			txs = append(txs, tx{from: i, to: to, packet: pkt})
 		}
 		// Detect type-2 slots: a node that both transmits and receives.
-		transmitted := make(map[int]bool, len(txs))
 		for _, t := range txs {
 			transmitted[t.from] = true
 		}
@@ -168,6 +171,9 @@ func Run(cfg Config) (Result, error) {
 				type2 = true
 				break
 			}
+		}
+		for _, t := range txs {
+			transmitted[t.from] = false
 		}
 		if type2 {
 			res.Type2Slots++

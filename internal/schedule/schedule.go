@@ -111,6 +111,21 @@ func (s *Schedule) SleepLatency(t int64) int64 {
 	return s.NextActive(t) - t
 }
 
+// ActiveCountBefore returns the number of active slots in [0, t) — the
+// radio-on time a node accumulates over the first t slots. The sim engine's
+// compact-time fast path uses it to account awake-slot bookkeeping
+// arithmetically instead of iterating dormant slots; it runs in O(log
+// ActiveSlots) via period arithmetic. Non-positive t returns 0.
+func (s *Schedule) ActiveCountBefore(t int64) int64 {
+	if t <= 0 {
+		return 0
+	}
+	full := t / int64(s.period)
+	rem := int(t % int64(s.period))
+	// sort.SearchInts returns the number of active offsets < rem.
+	return full*int64(len(s.slots)) + int64(sort.SearchInts(s.slots, rem))
+}
+
 // String renders the schedule compactly.
 func (s *Schedule) String() string {
 	return fmt.Sprintf("schedule{T=%d active=%v duty=%.1f%%}", s.period, s.slots, 100*s.DutyRatio())

@@ -302,3 +302,28 @@ func BenchmarkNextActive(b *testing.B) {
 		_ = s.NextActive(int64(i))
 	}
 }
+
+func TestActiveCountBefore(t *testing.T) {
+	cases := []*Schedule{
+		NewSingleSlot(5, 2),
+		NewMultiSlot(7, []int{0, 3, 6}),
+		AlwaysOn(),
+		NewSingleSlot(1, 0),
+	}
+	for _, s := range cases {
+		// Cross-check the arithmetic form against a brute-force IsActive
+		// scan over several periods, including the t=0 and mid-period edges.
+		count := int64(0)
+		for slot := int64(0); slot <= int64(4*s.Period()+3); slot++ {
+			if got := s.ActiveCountBefore(slot); got != count {
+				t.Fatalf("%v.ActiveCountBefore(%d) = %d, want %d", s, slot, got, count)
+			}
+			if s.IsActive(slot) {
+				count++
+			}
+		}
+	}
+	if got := NewSingleSlot(5, 2).ActiveCountBefore(-3); got != 0 {
+		t.Fatalf("ActiveCountBefore(-3) = %d, want 0", got)
+	}
+}

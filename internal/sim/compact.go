@@ -1,0 +1,268 @@
+package sim
+
+import (
+	"math/bits"
+
+	"ldcflood/internal/schedule"
+	"ldcflood/internal/topology"
+)
+
+// compactMaxHyperperiod bounds the schedule hyperperiod (lcm of all
+// periods) for which the compact-time fast path builds its per-offset
+// buckets. Schedules whose periods are mutually irregular (e.g. coprime
+// large periods) blow past this bound and fall back to the slot-by-slot
+// path; the paper's uniform-period assignments have hyperperiod == period.
+const compactMaxHyperperiod = 8192
+
+// compactPlan is the precomputed active-slot structure of one schedule
+// table: for each offset within the hyperperiod, who is awake and whether
+// any two adjacent nodes are simultaneously awake. It is immutable after
+// construction (schedules cannot change when the fast path is active).
+type compactPlan struct {
+	// L is the hyperperiod: the global awake pattern repeats every L slots.
+	L int
+	// buckets[o] lists the nodes awake at slots ≡ o (mod L), ascending.
+	buckets [][]int32
+	// offsetsOf[v] lists the offsets at which node v is awake.
+	offsetsOf [][]int32
+	// pairOff[o] reports whether some linked pair of nodes is simultaneously
+	// awake at offset o — the only slots on which protocol-level
+	// sender/receiver interaction (including OF's defer-to-reception draw)
+	// can occur while any node still misses a packet.
+	pairOff []bool
+	// adj is the graph's adjacency bitset, reused by the fast state's
+	// per-delivery relevance sweeps.
+	adj [][]uint64
+}
+
+// newCompactPlan builds the offset buckets for the given schedule table, or
+// returns nil when the hyperperiod exceeds compactMaxHyperperiod (the
+// caller then uses the slot-by-slot path).
+func newCompactPlan(g *topology.Graph, scheds []*schedule.Schedule) *compactPlan {
+	L := 1
+	for _, s := range scheds {
+		L = lcm(L, s.Period())
+		if L > compactMaxHyperperiod {
+			return nil
+		}
+	}
+	n := len(scheds)
+	plan := &compactPlan{
+		L:         L,
+		buckets:   make([][]int32, L),
+		offsetsOf: make([][]int32, n),
+		pairOff:   make([]bool, L),
+	}
+	// Carve each bucket and offset list out of two shared backing arrays:
+	// the per-offset append pattern below never grows past the counted
+	// capacity, so plan construction costs O(1) allocations instead of
+	// O(L + n).
+	counts := make([]int32, L)
+	total := 0
+	for _, s := range scheds {
+		reps := L / s.Period()
+		total += len(s.ActiveSlots()) * reps
+		for _, off := range s.ActiveSlots() {
+			for base := off; base < L; base += s.Period() {
+				counts[base]++
+			}
+		}
+	}
+	backing := make([]int32, total)
+	pos := 0
+	for o := range plan.buckets {
+		c := int(counts[o])
+		if c == 0 {
+			continue // leave empty buckets nil
+		}
+		plan.buckets[o] = backing[pos : pos : pos+c]
+		pos += c
+	}
+	obacking := make([]int32, total)
+	opos := 0
+	for i, s := range scheds {
+		c := len(s.ActiveSlots()) * (L / s.Period())
+		plan.offsetsOf[i] = obacking[opos : opos : opos+c]
+		opos += c
+	}
+	for i, s := range scheds {
+		// Outer loop ascending in i keeps every bucket sorted by node id,
+		// which the engine relies on for a deterministic AwakeList order.
+		for _, off := range s.ActiveSlots() {
+			for base := off; base < L; base += s.Period() {
+				plan.buckets[base] = append(plan.buckets[base], int32(i))
+				plan.offsetsOf[i] = append(plan.offsetsOf[i], int32(base))
+			}
+		}
+	}
+	adj := g.AdjacencyBitset()
+	plan.adj = adj
+	words := (n + 63) / 64
+	member := make([]uint64, words)
+	for o, bucket := range plan.buckets {
+		for _, v := range bucket {
+			member[v>>6] |= 1 << (uint(v) & 63)
+		}
+		for _, v := range bucket {
+			row := adj[v]
+			for w := range member {
+				if row[w]&member[w] != 0 {
+					plan.pairOff[o] = true
+					break
+				}
+			}
+			if plan.pairOff[o] {
+				break
+			}
+		}
+		for _, v := range bucket {
+			member[v>>6] = 0
+		}
+	}
+	return plan
+}
+
+// fastState is the mutable side of the compact-time fast path: which nodes
+// can currently receive something from a neighbor, aggregated per schedule
+// offset so the engine can jump straight to the next slot on which
+// anything — a transmission, a protocol RNG draw, or an injection — can
+// happen. It is maintained incrementally from the World's delivery hook.
+type fastState struct {
+	e    *engine
+	plan *compactPlan
+	// satCount counts nodes holding every injected packet. While
+	// satCount == n the network is quiescent and even adjacent-awake-pair
+	// slots are skippable.
+	satCount int
+	// relevant[v] conservatively over-approximates "some neighbor of v
+	// holds a packet v lacks" — the condition under which an awake v can
+	// be the target of a transmission (and the shipped protocols consult
+	// RNG). It is set when a neighbor receives a packet v lacks and
+	// cleared only when v holds every injected packet, so it may stay
+	// true after v's neighborhood has nothing left for it; the resulting
+	// extra visits are harmless no-ops (the slow path visits every slot).
+	relevant []bool
+	// relevantBits mirrors relevant as a bitset so noteDeliver can sweep a
+	// delivery's neighborhood for not-yet-relevant nodes in a few word
+	// operations.
+	relevantBits []uint64
+	// candCount[o] counts relevant nodes awake at offset o.
+	candCount []int32
+}
+
+func newFastState(e *engine, plan *compactPlan) *fastState {
+	return &fastState{
+		e:            e,
+		plan:         plan,
+		satCount:     e.n, // zero packets injected: everyone holds everything
+		relevant:     make([]bool, e.n),
+		relevantBits: make([]uint64, (e.n+63)/64),
+		candCount:    make([]int32, plan.L),
+	}
+}
+
+// setRelevant flips v's relevance and keeps the per-offset counters in
+// sync.
+func (fs *fastState) setRelevant(v int, val bool) {
+	fs.relevant[v] = val
+	var d int32 = 1
+	if val {
+		fs.relevantBits[v>>6] |= 1 << (uint(v) & 63)
+	} else {
+		fs.relevantBits[v>>6] &^= 1 << (uint(v) & 63)
+		d = -1
+	}
+	for _, o := range fs.plan.offsetsOf[v] {
+		fs.candCount[o] += d
+	}
+}
+
+// noteDeliver is the World.onDeliver hook: node just obtained packet p.
+// Its neighbors that lack p become relevant; node itself may stop being
+// relevant (its last needed packet may have arrived). Deliveries are the
+// only events that change relevance between injections, so this keeps the
+// invariant exact.
+func (fs *fastState) noteDeliver(p, node int) {
+	w := fs.e.w
+	if w.heldCount[node] == w.injected {
+		fs.satCount++
+	}
+	// Not-yet-relevant neighbors of node: a few word operations instead of
+	// a walk over the full adjacency list (mid-flood, almost every
+	// neighbor is already relevant and the candidate words are zero).
+	row := fs.plan.adj[node]
+	for wi, aw := range row {
+		cand := aw &^ fs.relevantBits[wi]
+		for cand != 0 {
+			u := wi<<6 + bits.TrailingZeros64(cand)
+			cand &= cand - 1
+			if !w.Has(p, u) {
+				fs.setRelevant(u, true)
+			}
+		}
+	}
+	// Downgrade node itself only on the O(1) certainly-irrelevant
+	// condition (it holds every injected packet). A node that still lacks
+	// packets stays flagged even if no neighbor currently supplies one —
+	// a conservative over-approximation that can only add harmless visits
+	// (on a visited slot with nothing to do, contract-honoring protocols
+	// admit no candidates and draw no RNG, exactly as on the slow path),
+	// and avoids an O(degree) AnyNeeded rescan on every delivery.
+	if fs.relevant[node] && w.heldCount[node] == w.injected {
+		fs.setRelevant(node, false)
+	}
+}
+
+// noteInjection recomputes satCount after the source injected new packets:
+// every node that was fully satisfied loses that status (except the source,
+// which receives the packet in the same slot). Relevance is already
+// maintained by noteDeliver firing on the injection's delivery.
+func (fs *fastState) noteInjection() {
+	w := fs.e.w
+	fs.satCount = 0
+	for v := 0; v < fs.e.n; v++ {
+		if w.heldCount[v] == w.injected {
+			fs.satCount++
+		}
+	}
+}
+
+// nextRelevant returns the first slot >= from on which the run's state can
+// change: a relevant node wakes, a linked pair is simultaneously awake
+// while any node still misses a packet (OF-style defer draws), or the
+// source injects. If nothing can happen before the horizon it returns
+// e.maxSlots, terminating the compact loop; the skipped tail is accounted
+// arithmetically by the caller.
+func (fs *fastState) nextRelevant(from int64) int64 {
+	e := fs.e
+	next := e.maxSlots
+	if e.w.injected < e.cfg.M {
+		if ni := int64(e.w.injected) * int64(e.interval); ni < next {
+			next = ni
+		}
+	}
+	L := int64(fs.plan.L)
+	limit := from + L // one full hyperperiod covers every offset
+	if limit > next {
+		limit = next
+	}
+	pairLive := fs.satCount < e.n
+	for s := from; s < limit; s++ {
+		o := s % L
+		if fs.candCount[o] > 0 || (pairLive && fs.plan.pairOff[o]) {
+			return s
+		}
+	}
+	return next
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b int) int {
+	return a / gcd(a, b) * b
+}

@@ -1,0 +1,285 @@
+package sim
+
+// Tests for the compact-time-scale fast path: plan construction, fallback
+// behaviour for irregular schedule tables, and property-based equivalence
+// against the slot-by-slot reference path. The full-protocol equivalence
+// suite (OPT/DBAO/OF/Naive over real topologies, including trace-log byte
+// identity) lives in internal/flood/compact_test.go because package flood
+// imports sim.
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"ldcflood/internal/rngutil"
+	"ldcflood/internal/schedule"
+	"ldcflood/internal/topology"
+)
+
+// compactChaosProtocol is a randomized protocol honouring the CompactTime
+// contract: it consults its RNG only after finding a neighbor that holds a
+// needed packet, so the fast path's relevant-slot skipping cannot change
+// its random stream. Compare chaosProtocol (property_test.go), which draws
+// unconditionally and is therefore only valid on the slot-by-slot path.
+type compactChaosProtocol struct {
+	rng       *rngutil.Stream
+	density   float64
+	collide   bool
+	overhear  bool
+	intentBuf []Intent
+}
+
+func (c *compactChaosProtocol) Name() string          { return "compact-chaos" }
+func (c *compactChaosProtocol) Reset(*World)          {}
+func (c *compactChaosProtocol) CollisionsApply() bool { return c.collide }
+func (c *compactChaosProtocol) Overhears() bool       { return c.overhear }
+func (c *compactChaosProtocol) Intents(w *World) []Intent {
+	c.intentBuf = c.intentBuf[:0]
+	for _, r := range w.AwakeList() {
+		for _, l := range w.Graph.Neighbors(r) {
+			if pkt := w.OldestNeeded(l.To, r); pkt >= 0 && c.rng.Bool(c.density) {
+				c.intentBuf = append(c.intentBuf, Intent{From: l.To, To: r, Packet: pkt})
+			}
+		}
+	}
+	return c.intentBuf
+}
+
+// TestCompactPlanStructure checks the precomputed hyperperiod buckets on a
+// handcrafted schedule table.
+func TestCompactPlanStructure(t *testing.T) {
+	g := topology.Line(3, 1)
+	scheds := []*schedule.Schedule{
+		schedule.NewSingleSlot(2, 0), // node 0 awake at even slots
+		schedule.NewSingleSlot(2, 0), // node 1 awake at even slots
+		schedule.NewSingleSlot(3, 1), // node 2 awake at slots ≡ 1 (mod 3)
+	}
+	plan := newCompactPlan(g, scheds)
+	if plan == nil {
+		t.Fatal("newCompactPlan returned nil for a regular table")
+	}
+	if plan.L != 6 {
+		t.Fatalf("hyperperiod = %d, want 6", plan.L)
+	}
+	wantBuckets := [][]int32{{0, 1}, {2}, {0, 1}, nil, {0, 1, 2}, nil}
+	if !reflect.DeepEqual(plan.buckets, wantBuckets) {
+		t.Errorf("buckets = %v, want %v", plan.buckets, wantBuckets)
+	}
+	// Nodes 0-1 are linked and share offsets {0,2,4}; node 2's only linked
+	// awake overlap is with node 1 at offset 4.
+	wantPair := []bool{true, false, true, false, true, false}
+	if !reflect.DeepEqual(plan.pairOff, wantPair) {
+		t.Errorf("pairOff = %v, want %v", plan.pairOff, wantPair)
+	}
+	wantOffsets := [][]int32{{0, 2, 4}, {0, 2, 4}, {1, 4}}
+	if !reflect.DeepEqual(plan.offsetsOf, wantOffsets) {
+		t.Errorf("offsetsOf = %v, want %v", plan.offsetsOf, wantOffsets)
+	}
+}
+
+// TestCompactPlanIrregularFallback: coprime large periods make the
+// hyperperiod exceed the internal bound, so the plan is refused and Run
+// silently uses the slot-by-slot path — with identical results.
+func TestCompactPlanIrregularFallback(t *testing.T) {
+	g := topology.Line(2, 1)
+	scheds := []*schedule.Schedule{
+		schedule.NewSingleSlot(97, 0),
+		schedule.NewSingleSlot(89, 3), // lcm(97, 89) = 8633 > 8192
+	}
+	if plan := newCompactPlan(g, scheds); plan != nil {
+		t.Fatalf("newCompactPlan = %+v, want nil for hyperperiod 8633", plan)
+	}
+	cfg := Config{
+		Graph:     g,
+		Schedules: scheds,
+		Protocol: &FuncProtocol{
+			IntentsFunc: func(w *World) []Intent {
+				var out []Intent
+				for _, r := range w.AwakeList() {
+					for _, l := range w.Graph.Neighbors(r) {
+						if pkt := w.OldestNeeded(l.To, r); pkt >= 0 {
+							out = append(out, Intent{From: l.To, To: r, Packet: pkt})
+						}
+					}
+				}
+				return out
+			},
+		},
+		M:        2,
+		Coverage: 1,
+		Seed:     7,
+	}
+	slow, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.CompactTime = true
+	fast, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(slow, fast) {
+		t.Errorf("fallback result diverged:\nslow %+v\nfast %+v", slow, fast)
+	}
+}
+
+// TestCompactAdaptFallsBack: an Adapt hook disables the fast path (the
+// plan's precomputed buckets would go stale), and results stay identical.
+func TestCompactAdaptFallsBack(t *testing.T) {
+	g := topology.Line(4, 1)
+	r := rngutil.New(11)
+	cfg := Config{
+		Graph:     g,
+		Schedules: schedule.AssignUniform(4, 4, r),
+		Protocol: &FuncProtocol{
+			IntentsFunc: func(w *World) []Intent {
+				var out []Intent
+				for _, rr := range w.AwakeList() {
+					for _, l := range w.Graph.Neighbors(rr) {
+						if pkt := w.OldestNeeded(l.To, rr); pkt >= 0 {
+							out = append(out, Intent{From: l.To, To: rr, Packet: pkt})
+						}
+					}
+				}
+				return out
+			},
+		},
+		M:        1,
+		Coverage: 1,
+		Seed:     11,
+		Adapt: func(w *World, scheds []*schedule.Schedule) {
+			scheds[0] = schedule.NewSingleSlot(2, 0)
+		},
+		AdaptEvery: 8,
+	}
+	slow, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.CompactTime = true
+	fast, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(slow, fast) {
+		t.Errorf("Adapt fallback diverged:\nslow %+v\nfast %+v", slow, fast)
+	}
+}
+
+// TestQuickCompactEquivalence is the core equivalence property: for random
+// connected graphs, random uniform schedule assignments and a randomized
+// contract-honouring protocol, CompactTime=true and false produce
+// bit-identical Results — every metric, timestamp and per-node counter.
+func TestQuickCompactEquivalence(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rngutil.New(seed)
+		g := randomConnectedGraph(r)
+		n := g.N()
+		period := 1 + r.Intn(12)
+		m := 1 + r.Intn(4)
+		scheds := schedule.AssignUniform(n, period, r.SubName("schedule"))
+		mkProto := func() *compactChaosProtocol {
+			return &compactChaosProtocol{
+				rng:      rngutil.New(seed).SubName("chaos"),
+				density:  0.1 + 0.8*r.Float64(),
+				collide:  r.Bool(0.5),
+				overhear: r.Bool(0.5),
+			}
+		}
+		// Build both protocol instances before drawing density/collide so
+		// the two runs are configured identically.
+		pa, pb := mkProto(), mkProto()
+		pb.density, pb.collide, pb.overhear = pa.density, pa.collide, pa.overhear
+		cfg := Config{
+			Graph:            g,
+			Schedules:        scheds,
+			Protocol:         pa,
+			M:                m,
+			Coverage:         1,
+			Seed:             seed,
+			MaxSlots:         20000,
+			SyncErrorProb:    0.1 * r.Float64(),
+			CaptureProb:      r.Float64(),
+			RecordReceptions: true,
+			InjectInterval:   1 + r.Intn(3),
+		}
+		slow, err := Run(cfg)
+		if err != nil {
+			t.Logf("seed %d slow: %v", seed, err)
+			return false
+		}
+		cfg.Protocol = pb
+		cfg.CompactTime = true
+		fast, err := Run(cfg)
+		if err != nil {
+			t.Logf("seed %d fast: %v", seed, err)
+			return false
+		}
+		if !reflect.DeepEqual(slow, fast) {
+			t.Logf("seed %d: results diverge\nslow %+v\nfast %+v", seed, slow, fast)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompactIncompleteRunAccounting: when coverage is unreachable the fast
+// path must still report the slow path's TotalSlots (the full horizon) and
+// the same arithmetic awake-slot totals.
+func TestCompactIncompleteRunAccounting(t *testing.T) {
+	// Two disconnected pairs: packets injected at node 0 can never reach
+	// nodes 2-3, so full coverage is impossible.
+	g := topology.New(4)
+	g.AddLink(0, 1, 1)
+	g.AddLink(2, 3, 1)
+	g.SortNeighbors()
+	scheds := []*schedule.Schedule{
+		schedule.NewSingleSlot(4, 0),
+		schedule.NewSingleSlot(4, 2),
+		schedule.NewSingleSlot(4, 1),
+		schedule.NewSingleSlot(4, 3),
+	}
+	cfg := Config{
+		Graph:     g,
+		Schedules: scheds,
+		Protocol: &FuncProtocol{
+			IntentsFunc: func(w *World) []Intent {
+				var out []Intent
+				for _, r := range w.AwakeList() {
+					for _, l := range w.Graph.Neighbors(r) {
+						if pkt := w.OldestNeeded(l.To, r); pkt >= 0 {
+							out = append(out, Intent{From: l.To, To: r, Packet: pkt})
+						}
+					}
+				}
+				return out
+			},
+		},
+		M:        2,
+		Coverage: 1,
+		Seed:     3,
+		MaxSlots: 5000,
+	}
+	slow, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.CompactTime = true
+	fast, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Completed || fast.Completed {
+		t.Fatal("test premise broken: run completed on a disconnected graph")
+	}
+	if !reflect.DeepEqual(slow, fast) {
+		t.Errorf("incomplete-run results diverge:\nslow %+v\nfast %+v", slow, fast)
+	}
+	if fast.TotalSlots != 5000 {
+		t.Errorf("TotalSlots = %d, want the full 5000-slot horizon", fast.TotalSlots)
+	}
+}

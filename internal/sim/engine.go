@@ -4,7 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"ldcflood/internal/rngutil"
 	"ldcflood/internal/schedule"
@@ -29,9 +29,49 @@ func coverTarget(coverage float64, n int) int {
 	return c
 }
 
+// success records one decoded unicast of the current slot; overhearing
+// fans out from successful senders after all receptions resolve.
+type success struct{ from, to, packet int }
+
+// engine bundles one run's mutable state: configuration, world, result
+// accumulators, RNG streams, and the per-slot scratch buffers shared by
+// the slot-by-slot and compact-time execution paths. All scratch is
+// allocated once at setup so both slot loops run allocation-free in the
+// steady state.
+type engine struct {
+	cfg        Config
+	w          *World
+	res        *Result
+	scheds     []*schedule.Schedule
+	lossRNG    *rngutil.Stream
+	syncRNG    *rngutil.Stream
+	n          int
+	interval   int
+	coverNodes int
+	maxSlots   int64
+	covered    int
+
+	// linkPRR is a dense n×n PRR matrix (-1 for absent links) giving the
+	// hot loop O(1) link checks instead of adjacency scans; nil when n
+	// exceeds maxDensePRRNodes, falling back to Graph lookups.
+	linkPRR []float64
+
+	// Per-slot scratch, reused across slots. rxIntents[r] collects the
+	// surviving intents targeting receiver r (replacing the former
+	// per-slot map churn); rxList is the receivers touched this slot.
+	rxIntents   [][]Intent
+	rxList      []int
+	successes   []success
+	targeted    []bool
+	recvNow     []bool
+	txTouched   []int // nodes whose transmitting flag was set this slot
+	recvTouched []int // nodes whose recvNow flag was set this slot
+}
+
 // Run executes one simulation until every packet reaches the coverage
 // target or the slot horizon expires. Runs are bit-for-bit reproducible for
-// a given Config (including Seed).
+// a given Config (including Seed), and — for the protocols in
+// internal/flood — independent of Config.CompactTime.
 func Run(cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -60,30 +100,27 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	root := rngutil.New(cfg.Seed)
-	lossRNG := root.SubName("loss")
-	syncRNG := root.SubName("sync")
 
 	// The engine owns a copy of the schedule table so an Adapt hook can
 	// swap entries without mutating the caller's slice.
 	scheds := append([]*schedule.Schedule(nil), cfg.Schedules...)
+	pwords := (cfg.M + 63) / 64
 	w := &World{
 		Graph:          cfg.Graph,
 		Schedules:      scheds,
 		M:              cfg.M,
 		InjectInterval: interval,
 		ProtoRNG:       root.SubName("protocol"),
-		has:            make([][]bool, cfg.M),
-		recvTime:       make([][]int64, cfg.M),
+		has:            make([]uint64, n*pwords),
+		pwords:         pwords,
+		heldCount:      make([]int, n),
+		recvTime:       make([]int64, n*cfg.M),
 		count:          make([]int, cfg.M),
 		awake:          make([]bool, n),
 		transmitting:   make([]bool, n),
 	}
-	for p := range w.has {
-		w.has[p] = make([]bool, n)
-		w.recvTime[p] = make([]int64, n)
-		for i := range w.recvTime[p] {
-			w.recvTime[p][i] = -1
-		}
+	for i := range w.recvTime {
+		w.recvTime[i] = -1
 	}
 
 	res := &Result{
@@ -106,225 +143,400 @@ func Run(cfg Config) (*Result, error) {
 
 	cfg.Protocol.Reset(w)
 
-	covered := 0
-	targeted := make([]bool, n)
-	receivedNow := make([]bool, n)
-	byReceiver := make(map[int][]Intent)
-
-	for t := int64(0); t < maxSlots && covered < cfg.M; t++ {
-		if cfg.Interrupt != nil && cfg.Interrupt(t) {
-			return nil, fmt.Errorf("sim: %s aborted at slot %d: %w",
-				cfg.Protocol.Name(), t, ErrInterrupted)
+	e := &engine{
+		cfg:        cfg,
+		w:          w,
+		res:        res,
+		scheds:     scheds,
+		lossRNG:    root.SubName("loss"),
+		syncRNG:    root.SubName("sync"),
+		n:          n,
+		interval:   interval,
+		coverNodes: coverNodes,
+		maxSlots:   maxSlots,
+		rxIntents:  make([][]Intent, n),
+		targeted:   make([]bool, n),
+		recvNow:    make([]bool, n),
+	}
+	if n <= maxDensePRRNodes {
+		m := make([]float64, n*n)
+		for i := range m {
+			m[i] = -1
 		}
-		w.now = t
-		// Injection: packet p enters at slot p×interval.
-		for w.injected < cfg.M && t == int64(w.injected)*int64(interval) {
-			p := w.injected
-			w.injected++
-			w.deliver(p, 0, t)
-			res.InjectTime[p] = t
-			if cfg.Observer != nil {
-				cfg.Observer.OnInject(t, p)
+		for u := 0; u < n; u++ {
+			for _, l := range cfg.Graph.Neighbors(u) {
+				m[u*n+l.To] = l.PRR
 			}
 		}
+		e.linkPRR = m
+	}
+
+	var runErr error
+	if plan := e.planCompact(); plan != nil {
+		runErr = e.runCompact(plan)
+	} else {
+		runErr = e.runSlots()
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	res.Completed = e.covered == cfg.M
+	if cfg.RecordReceptions {
+		res.NodeRecvTime = make([][]int64, cfg.M)
+		for p := range res.NodeRecvTime {
+			row := make([]int64, n)
+			for node := range row {
+				row[node] = w.recvTime[node*cfg.M+p]
+			}
+			res.NodeRecvTime[p] = row
+		}
+	}
+	return res, nil
+}
+
+// maxDensePRRNodes caps the engine's dense link-PRR matrix at n² float64s
+// (8 MB at the cap); larger graphs use Graph's adjacency lookups.
+const maxDensePRRNodes = 1024
+
+// prr returns the link PRR of (u, v), or 0 when unlinked — Graph.PRR
+// semantics through the dense matrix when available.
+func (e *engine) prr(u, v int) float64 {
+	if e.linkPRR != nil {
+		if p := e.linkPRR[u*e.n+v]; p >= 0 {
+			return p
+		}
+		return 0
+	}
+	return e.cfg.Graph.PRR(u, v)
+}
+
+// hasLink reports whether u and v are linked.
+func (e *engine) hasLink(u, v int) bool {
+	if e.linkPRR != nil {
+		return e.linkPRR[u*e.n+v] >= 0
+	}
+	return e.cfg.Graph.HasLink(u, v)
+}
+
+// planCompact decides whether the compact-time fast path applies and, if
+// so, builds its precomputed schedule structure. A nil return selects the
+// slot-by-slot path.
+func (e *engine) planCompact() *compactPlan {
+	if !e.cfg.CompactTime || e.cfg.Adapt != nil {
+		return nil
+	}
+	return newCompactPlan(e.cfg.Graph, e.scheds)
+}
+
+// interruptErr wraps ErrInterrupted with run context.
+func (e *engine) interruptErr(t int64) error {
+	return fmt.Errorf("sim: %s aborted at slot %d: %w",
+		e.cfg.Protocol.Name(), t, ErrInterrupted)
+}
+
+// inject admits every packet whose injection time is slot t: packet p
+// enters at slot p×interval at the source (node 0).
+func (e *engine) inject(t int64) {
+	for e.w.injected < e.cfg.M && t == int64(e.w.injected)*int64(e.interval) {
+		p := e.w.injected
+		e.w.injected++
+		e.w.deliver(p, 0, t)
+		e.res.InjectTime[p] = t
+		if e.cfg.Observer != nil {
+			e.cfg.Observer.OnInject(t, p)
+		}
+	}
+}
+
+// runSlots is the reference execution path: iterate every wall-clock slot,
+// recomputing the awake set with an O(n) schedule scan. It supports every
+// Config feature, including Adapt.
+func (e *engine) runSlots() error {
+	w, res, cfg := e.w, e.res, &e.cfg
+	for t := int64(0); t < e.maxSlots && e.covered < cfg.M; t++ {
+		if cfg.Interrupt != nil && cfg.Interrupt(t) {
+			return e.interruptErr(t)
+		}
+		w.now = t
+		e.inject(t)
 		// Dynamic duty-cycle control (DutyCon-style, reference [22]).
 		if cfg.Adapt != nil && t > 0 && t%cfg.AdaptEvery == 0 {
-			cfg.Adapt(w, scheds)
-			for i, s := range scheds {
+			cfg.Adapt(w, e.scheds)
+			for i, s := range e.scheds {
 				if s == nil {
-					return nil, fmt.Errorf("sim: Adapt set a nil schedule for node %d", i)
+					return fmt.Errorf("sim: Adapt set a nil schedule for node %d", i)
 				}
 			}
 		}
 		// Awake set.
 		w.awakeList = w.awakeList[:0]
-		for i := 0; i < n; i++ {
-			w.awake[i] = scheds[i].IsActive(t)
-			if w.awake[i] {
+		for i := 0; i < e.n; i++ {
+			a := e.scheds[i].IsActive(t)
+			w.awake[i] = a
+			if a {
 				w.awakeList = append(w.awakeList, i)
 				res.AwakeSlotsPerNode[i]++
 			}
-			w.transmitting[i] = false
-			targeted[i] = false
-			receivedNow[i] = false
 		}
-
-		intents := cfg.Protocol.Intents(w)
-		// Validate, enforce one transmission per sender, group by receiver.
-		for k := range byReceiver {
-			delete(byReceiver, k)
-		}
-		for _, in := range intents {
-			if in.From < 0 || in.From >= n || in.To < 0 || in.To >= n || in.From == in.To {
-				return nil, fmt.Errorf("sim: protocol %s produced invalid intent %+v", cfg.Protocol.Name(), in)
-			}
-			if in.Packet < 0 || in.Packet >= w.injected {
-				return nil, fmt.Errorf("sim: intent for uninjected packet %d", in.Packet)
-			}
-			if !w.has[in.Packet][in.From] {
-				return nil, fmt.Errorf("sim: node %d does not hold packet %d", in.From, in.Packet)
-			}
-			if !cfg.Graph.HasLink(in.From, in.To) {
-				return nil, fmt.Errorf("sim: intent over non-link %d-%d", in.From, in.To)
-			}
-			if !w.awake[in.To] {
-				return nil, fmt.Errorf("sim: intent to dormant node %d", in.To)
-			}
-			if w.transmitting[in.From] {
-				continue // one transmission per sender per slot
-			}
-			if w.has[in.Packet][in.To] {
-				continue // receiver already has it; drop silently
-			}
-			w.transmitting[in.From] = true
-			if cfg.SyncErrorProb > 0 && syncRNG.Bool(cfg.SyncErrorProb) {
-				// Local-synchronization miss: the sender fires at the
-				// wrong slot and nobody is listening.
-				res.Transmissions++
-				res.TxPerNode[in.From]++
-				res.SyncFailures++
-				if cfg.Observer != nil {
-					cfg.Observer.OnTransmit(t, in.From, in.To, in.Packet, TxSync)
-				}
-				continue
-			}
-			byReceiver[in.To] = append(byReceiver[in.To], in)
-		}
-		receivers := make([]int, 0, len(byReceiver))
-		for r := range byReceiver {
-			receivers = append(receivers, r)
-		}
-		sort.Ints(receivers)
-
-		type success struct{ from, to, packet int }
-		var successes []success
-		for _, r := range receivers {
-			txs := byReceiver[r]
-			res.Transmissions += len(txs)
-			for _, tx := range txs {
-				res.TxPerNode[tx.From]++
-			}
-			targeted[r] = true
-			switch {
-			case w.transmitting[r]:
-				// Semi-duplex: a transmitting node cannot receive.
-				res.BusyFailures += len(txs)
-				if cfg.Observer != nil {
-					for _, tx := range txs {
-						cfg.Observer.OnTransmit(t, tx.From, r, tx.Packet, TxBusy)
-					}
-				}
-			case len(txs) > 1 && cfg.Protocol.CollisionsApply():
-				// Capture effect: the strongest signal may survive the
-				// collision (reference [17]'s flash-flooding mechanism).
-				captured := false
-				if cfg.CaptureProb > 0 && lossRNG.Bool(cfg.CaptureProb) {
-					best := txs[0]
-					for _, tx := range txs[1:] {
-						if cfg.Graph.PRR(tx.From, r) > cfg.Graph.PRR(best.From, r) {
-							best = tx
-						}
-					}
-					if lossRNG.Bool(cfg.Graph.PRR(best.From, r)) {
-						captured = true
-						res.Captures++
-						w.deliver(best.Packet, r, t)
-						receivedNow[r] = true
-						successes = append(successes, success{best.From, r, best.Packet})
-						res.CollisionFailures += len(txs) - 1
-						if cfg.Observer != nil {
-							for _, tx := range txs {
-								outcome := TxCollision
-								if tx == best {
-									outcome = TxSuccess
-								}
-								cfg.Observer.OnTransmit(t, tx.From, r, tx.Packet, outcome)
-							}
-						}
-					}
-				}
-				if !captured {
-					res.CollisionFailures += len(txs)
-					if cfg.Observer != nil {
-						for _, tx := range txs {
-							cfg.Observer.OnTransmit(t, tx.From, r, tx.Packet, TxCollision)
-						}
-					}
-				}
-			default:
-				// Attempt in order until one succeeds; the rest of an
-				// oracle's redundant transmissions are counted as losses.
-				got := false
-				for _, tx := range txs {
-					if got {
-						res.LossFailures++
-						if cfg.Observer != nil {
-							cfg.Observer.OnTransmit(t, tx.From, r, tx.Packet, TxRedundant)
-						}
-						continue
-					}
-					if lossRNG.Bool(cfg.Graph.PRR(tx.From, tx.To)) {
-						got = true
-						w.deliver(tx.Packet, r, t)
-						receivedNow[r] = true
-						successes = append(successes, success{tx.From, r, tx.Packet})
-						if cfg.Observer != nil {
-							cfg.Observer.OnTransmit(t, tx.From, r, tx.Packet, TxSuccess)
-						}
-					} else {
-						res.LossFailures++
-						if cfg.Observer != nil {
-							cfg.Observer.OnTransmit(t, tx.From, r, tx.Packet, TxLoss)
-						}
-					}
-				}
-			}
-		}
-		// Overhearing: awake, silent, non-targeted neighbors of successful
-		// senders may pick the packet up for free.
-		if cfg.Protocol.Overhears() {
-			for _, s := range successes {
-				for _, l := range cfg.Graph.Neighbors(s.from) {
-					o := l.To
-					if o == s.to || !w.awake[o] || w.transmitting[o] || targeted[o] || receivedNow[o] {
-						continue
-					}
-					if w.has[s.packet][o] {
-						continue
-					}
-					if lossRNG.Bool(l.PRR) {
-						w.deliver(s.packet, o, t)
-						receivedNow[o] = true
-						res.Overheard++
-						if cfg.Observer != nil {
-							cfg.Observer.OnOverhear(t, s.from, o, s.packet)
-						}
-					}
-				}
-			}
-		}
-		// Coverage accounting.
-		for p := 0; p < w.injected; p++ {
-			if res.CoverTime[p] == -1 && w.count[p] >= coverNodes {
-				res.CoverTime[p] = t
-				res.Delay[p] = t - res.InjectTime[p]
-				covered++
-				if cfg.Observer != nil {
-					cfg.Observer.OnCovered(t, p)
-				}
-			}
-			if res.FirstHopDelay[p] == -1 && w.count[p] >= 2 {
-				res.FirstHopDelay[p] = t - res.InjectTime[p]
-			}
+		if err := e.resolveSlot(t); err != nil {
+			return err
 		}
 		res.TotalSlots = t + 1
 	}
-	res.Completed = covered == cfg.M
-	if cfg.RecordReceptions {
-		res.NodeRecvTime = make([][]int64, cfg.M)
-		for p := range res.NodeRecvTime {
-			res.NodeRecvTime[p] = append([]int64(nil), w.recvTime[p]...)
+	return nil
+}
+
+// runCompact is the compact-time fast path: the awake set comes from
+// precomputed hyperperiod offset buckets, and the loop steps directly from
+// one relevant slot to the next. Dormant-only stretches contribute to
+// TotalSlots and AwakeSlotsPerNode arithmetically. Preconditions
+// (CompactTime set, Adapt nil, bounded hyperperiod) are enforced by
+// planCompact.
+func (e *engine) runCompact(plan *compactPlan) error {
+	w, res, cfg := e.w, e.res, &e.cfg
+	fs := newFastState(e, plan)
+	w.onDeliver = fs.noteDeliver
+	defer func() { w.onDeliver = nil }()
+
+	L := int64(plan.L)
+	for t := int64(0); t < e.maxSlots && e.covered < cfg.M; {
+		if cfg.Interrupt != nil && cfg.Interrupt(t) {
+			return e.interruptErr(t)
+		}
+		w.now = t
+		before := w.injected
+		e.inject(t)
+		if w.injected != before {
+			fs.noteInjection()
+		}
+		// Awake set from the precomputed offset buckets: clear the
+		// previous slot's entries, then install this offset's bucket.
+		for _, i := range w.awakeList {
+			w.awake[i] = false
+		}
+		w.awakeList = w.awakeList[:0]
+		for _, i := range plan.buckets[t%L] {
+			w.awake[i] = true
+			w.awakeList = append(w.awakeList, int(i))
+		}
+		if err := e.resolveSlot(t); err != nil {
+			return err
+		}
+		res.TotalSlots = t + 1
+		t = fs.nextRelevant(t + 1)
+	}
+	if e.covered < cfg.M {
+		// The reference path iterates (and counts) every slot up to the
+		// horizon even when nothing can happen; account for the skipped
+		// tail.
+		res.TotalSlots = e.maxSlots
+	}
+	// Awake-slot bookkeeping over [0, TotalSlots), computed arithmetically
+	// from the (static — Adapt is nil here) schedules.
+	for i := 0; i < e.n; i++ {
+		res.AwakeSlotsPerNode[i] = e.scheds[i].ActiveCountBefore(res.TotalSlots)
+	}
+	return nil
+}
+
+// resolveSlot runs one slot's protocol round: collect intents, validate
+// them, resolve collisions/losses/capture per receiver, fan out
+// overhearing, and update coverage accounting. The caller must have set
+// w.now and the awake set. Scratch state touched during the slot is
+// cleared before returning, so consecutive calls need no O(n) wipes.
+func (e *engine) resolveSlot(t int64) error {
+	w, res, cfg := e.w, e.res, &e.cfg
+
+	intents := cfg.Protocol.Intents(w)
+	// Validate, enforce one transmission per sender, group by receiver
+	// into the reused per-receiver slices.
+	e.rxList = e.rxList[:0]
+	for _, in := range intents {
+		if in.From < 0 || in.From >= e.n || in.To < 0 || in.To >= e.n || in.From == in.To {
+			return fmt.Errorf("sim: protocol %s produced invalid intent %+v", cfg.Protocol.Name(), in)
+		}
+		if in.Packet < 0 || in.Packet >= w.injected {
+			return fmt.Errorf("sim: intent for uninjected packet %d", in.Packet)
+		}
+		if !w.Has(in.Packet, in.From) {
+			return fmt.Errorf("sim: node %d does not hold packet %d", in.From, in.Packet)
+		}
+		if !e.hasLink(in.From, in.To) {
+			return fmt.Errorf("sim: intent over non-link %d-%d", in.From, in.To)
+		}
+		if !w.awake[in.To] {
+			return fmt.Errorf("sim: intent to dormant node %d", in.To)
+		}
+		if w.transmitting[in.From] {
+			continue // one transmission per sender per slot
+		}
+		if w.Has(in.Packet, in.To) {
+			continue // receiver already has it; drop silently
+		}
+		w.transmitting[in.From] = true
+		e.txTouched = append(e.txTouched, in.From)
+		if cfg.SyncErrorProb > 0 && e.syncRNG.Bool(cfg.SyncErrorProb) {
+			// Local-synchronization miss: the sender fires at the
+			// wrong slot and nobody is listening.
+			res.Transmissions++
+			res.TxPerNode[in.From]++
+			res.SyncFailures++
+			if cfg.Observer != nil {
+				cfg.Observer.OnTransmit(t, in.From, in.To, in.Packet, TxSync)
+			}
+			continue
+		}
+		if len(e.rxIntents[in.To]) == 0 {
+			e.rxList = append(e.rxList, in.To)
+		}
+		e.rxIntents[in.To] = append(e.rxIntents[in.To], in)
+	}
+	slices.Sort(e.rxList)
+
+	e.successes = e.successes[:0]
+	for _, r := range e.rxList {
+		txs := e.rxIntents[r]
+		res.Transmissions += len(txs)
+		for _, tx := range txs {
+			res.TxPerNode[tx.From]++
+		}
+		e.targeted[r] = true
+		switch {
+		case w.transmitting[r]:
+			// Semi-duplex: a transmitting node cannot receive.
+			res.BusyFailures += len(txs)
+			if cfg.Observer != nil {
+				for _, tx := range txs {
+					cfg.Observer.OnTransmit(t, tx.From, r, tx.Packet, TxBusy)
+				}
+			}
+		case len(txs) > 1 && cfg.Protocol.CollisionsApply():
+			// Capture effect: the strongest signal may survive the
+			// collision (reference [17]'s flash-flooding mechanism).
+			captured := false
+			if cfg.CaptureProb > 0 && e.lossRNG.Bool(cfg.CaptureProb) {
+				best := txs[0]
+				for _, tx := range txs[1:] {
+					if e.prr(tx.From, r) > e.prr(best.From, r) {
+						best = tx
+					}
+				}
+				if e.lossRNG.Bool(e.prr(best.From, r)) {
+					captured = true
+					res.Captures++
+					e.deliverNow(best.Packet, r, t)
+					e.successes = append(e.successes, success{best.From, r, best.Packet})
+					res.CollisionFailures += len(txs) - 1
+					if cfg.Observer != nil {
+						for _, tx := range txs {
+							outcome := TxCollision
+							if tx == best {
+								outcome = TxSuccess
+							}
+							cfg.Observer.OnTransmit(t, tx.From, r, tx.Packet, outcome)
+						}
+					}
+				}
+			}
+			if !captured {
+				res.CollisionFailures += len(txs)
+				if cfg.Observer != nil {
+					for _, tx := range txs {
+						cfg.Observer.OnTransmit(t, tx.From, r, tx.Packet, TxCollision)
+					}
+				}
+			}
+		default:
+			// Attempt in order until one succeeds; the rest of an
+			// oracle's redundant transmissions are counted as losses.
+			got := false
+			for _, tx := range txs {
+				if got {
+					res.LossFailures++
+					if cfg.Observer != nil {
+						cfg.Observer.OnTransmit(t, tx.From, r, tx.Packet, TxRedundant)
+					}
+					continue
+				}
+				if e.lossRNG.Bool(e.prr(tx.From, tx.To)) {
+					got = true
+					e.deliverNow(tx.Packet, r, t)
+					e.successes = append(e.successes, success{tx.From, r, tx.Packet})
+					if cfg.Observer != nil {
+						cfg.Observer.OnTransmit(t, tx.From, r, tx.Packet, TxSuccess)
+					}
+				} else {
+					res.LossFailures++
+					if cfg.Observer != nil {
+						cfg.Observer.OnTransmit(t, tx.From, r, tx.Packet, TxLoss)
+					}
+				}
+			}
 		}
 	}
-	return res, nil
+	// Overhearing: awake, silent, non-targeted neighbors of successful
+	// senders may pick the packet up for free. Candidates are visited in
+	// ascending node id; iterating the (small) awake list and testing
+	// adjacency is much cheaper than scanning the sender's full neighbor
+	// list when only a few nodes are awake. The sender itself is excluded
+	// by the transmitting check.
+	if cfg.Protocol.Overhears() {
+		for _, s := range e.successes {
+			for _, o := range w.awakeList {
+				if o == s.to || w.transmitting[o] || e.targeted[o] || e.recvNow[o] {
+					continue
+				}
+				prr := e.prr(s.from, o)
+				if prr <= 0 || w.Has(s.packet, o) {
+					continue
+				}
+				if e.lossRNG.Bool(prr) {
+					e.deliverNow(s.packet, o, t)
+					res.Overheard++
+					if cfg.Observer != nil {
+						cfg.Observer.OnOverhear(t, s.from, o, s.packet)
+					}
+				}
+			}
+		}
+	}
+	// Coverage accounting.
+	for p := 0; p < w.injected; p++ {
+		if res.CoverTime[p] == -1 && w.count[p] >= e.coverNodes {
+			res.CoverTime[p] = t
+			res.Delay[p] = t - res.InjectTime[p]
+			e.covered++
+			if cfg.Observer != nil {
+				cfg.Observer.OnCovered(t, p)
+			}
+		}
+		if res.FirstHopDelay[p] == -1 && w.count[p] >= 2 {
+			res.FirstHopDelay[p] = t - res.InjectTime[p]
+		}
+	}
+	// Slot cleanup: reset exactly the scratch entries this slot touched.
+	for _, r := range e.rxList {
+		e.targeted[r] = false
+		e.rxIntents[r] = e.rxIntents[r][:0]
+	}
+	for _, i := range e.txTouched {
+		w.transmitting[i] = false
+	}
+	e.txTouched = e.txTouched[:0]
+	for _, i := range e.recvTouched {
+		e.recvNow[i] = false
+	}
+	e.recvTouched = e.recvTouched[:0]
+	return nil
+}
+
+// deliverNow records an in-slot reception: the packet is delivered and the
+// node is marked as having received this slot (blocking overhearing).
+func (e *engine) deliverNow(p, node int, t int64) {
+	e.w.deliver(p, node, t)
+	if !e.recvNow[node] {
+		e.recvNow[node] = true
+		e.recvTouched = append(e.recvTouched, node)
+	}
 }

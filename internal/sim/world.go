@@ -9,6 +9,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"ldcflood/internal/rngutil"
 	"ldcflood/internal/schedule"
@@ -28,15 +29,26 @@ type World struct {
 	// (e.g. OF's probabilistic forwarding), split from the run seed.
 	ProtoRNG *rngutil.Stream
 
-	has      [][]bool  // has[p][node]
-	recvTime [][]int64 // recvTime[p][node]; -1 if not received
-	count    []int     // count[p]: nodes currently holding p
-	injected int       // packets injected so far
-	now      int64
+	// has is the node-major possession bitset: bit p%64 of word
+	// has[node*pwords + p/64] is set when node holds packet p. The layout
+	// makes OldestNeeded a handful of word operations per packet word
+	// instead of a per-packet bool walk.
+	has       []uint64
+	pwords    int     // uint64 words per node in has: ceil(M/64)
+	heldCount []int   // heldCount[node]: packets node currently holds
+	recvTime  []int64 // recvTime[node*M+p]; -1 if not received (node-major so OldestNeeded scans contiguously)
+	count     []int   // count[p]: nodes currently holding p
+	injected  int     // packets injected so far
+	now       int64
 
 	awake        []bool
 	awakeList    []int
 	transmitting []bool
+
+	// onDeliver, when non-nil, observes every successful delivery
+	// (injection, unicast or overheard). The compact-time fast path hooks
+	// it to maintain its relevant-slot bookkeeping incrementally.
+	onDeliver func(p, node int)
 }
 
 // Now returns the current slot.
@@ -49,10 +61,12 @@ func (w *World) Injected() int { return w.injected }
 func (w *World) InjectSlot(p int) int64 { return int64(p) * int64(w.InjectInterval) }
 
 // Has reports whether node holds packet p.
-func (w *World) Has(p, node int) bool { return w.has[p][node] }
+func (w *World) Has(p, node int) bool {
+	return w.has[node*w.pwords+p>>6]&(1<<(uint(p)&63)) != 0
+}
 
 // RecvTime returns the slot at which node received packet p, or -1.
-func (w *World) RecvTime(p, node int) int64 { return w.recvTime[p][node] }
+func (w *World) RecvTime(p, node int) int64 { return w.recvTime[node*w.M+p] }
 
 // Count returns the number of nodes currently holding packet p.
 func (w *World) Count(p int) int { return w.count[p] }
@@ -70,12 +84,7 @@ func (w *World) IsTransmitting(node int) bool { return w.transmitting[node] }
 
 // NeedsAnything reports whether node is missing any injected packet.
 func (w *World) NeedsAnything(node int) bool {
-	for p := 0; p < w.injected; p++ {
-		if !w.has[p][node] {
-			return true
-		}
-	}
-	return false
+	return w.heldCount[node] < w.injected
 }
 
 // OldestNeeded returns the packet that sender should forward to receiver
@@ -83,18 +92,42 @@ func (w *World) NeedsAnything(node int) bool {
 // receiver lacks, the one sender received earliest (ties to the smaller
 // packet index). It returns -1 if there is no such packet.
 func (w *World) OldestNeeded(sender, receiver int) int {
+	sb := w.has[sender*w.pwords : (sender+1)*w.pwords]
+	rb := w.has[receiver*w.pwords : (receiver+1)*w.pwords]
+	rts := w.recvTime[sender*w.M : (sender+1)*w.M]
 	best := -1
 	var bestTime int64 = math.MaxInt64
-	for p := 0; p < w.injected; p++ {
-		if !w.has[p][sender] || w.has[p][receiver] {
-			continue
-		}
-		rt := w.recvTime[p][sender]
-		if rt < bestTime {
-			best, bestTime = p, rt
+	for i, sw := range sb {
+		need := sw &^ rb[i]
+		for need != 0 {
+			p := i<<6 + bits.TrailingZeros64(need)
+			need &= need - 1
+			if rt := rts[p]; rt < bestTime {
+				best, bestTime = p, rt
+			}
 		}
 	}
 	return best
+}
+
+// AnyNeeded reports whether sender holds at least one packet receiver
+// lacks — equivalent to OldestNeeded(sender, receiver) >= 0 but without
+// finding the FCFS minimum, a handful of word operations. Protocols use it
+// as the cheap candidate-admission test, deferring the OldestNeeded scan to
+// the senders that actually fire; the compact-time fast path uses it to
+// track which nodes can still receive something.
+func (w *World) AnyNeeded(sender, receiver int) bool {
+	if w.pwords == 1 {
+		return w.has[sender]&^w.has[receiver] != 0
+	}
+	sb := w.has[sender*w.pwords : (sender+1)*w.pwords]
+	rb := w.has[receiver*w.pwords : (receiver+1)*w.pwords]
+	for i, sw := range sb {
+		if sw&^rb[i] != 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // HoldersOf returns receiver's neighbors currently holding at least one
@@ -102,7 +135,7 @@ func (w *World) OldestNeeded(sender, receiver int) int {
 func (w *World) HoldersOf(receiver int) []topology.Link {
 	var out []topology.Link
 	for _, l := range w.Graph.Neighbors(receiver) {
-		if w.OldestNeeded(l.To, receiver) >= 0 {
+		if w.AnyNeeded(l.To, receiver) {
 			out = append(out, l)
 		}
 	}
@@ -110,12 +143,16 @@ func (w *World) HoldersOf(receiver int) []topology.Link {
 }
 
 func (w *World) deliver(p, node int, t int64) bool {
-	if w.has[p][node] {
+	if w.Has(p, node) {
 		return false
 	}
-	w.has[p][node] = true
-	w.recvTime[p][node] = t
+	w.has[node*w.pwords+p>>6] |= 1 << (uint(p) & 63)
+	w.recvTime[node*w.M+p] = t
 	w.count[p]++
+	w.heldCount[node]++
+	if w.onDeliver != nil {
+		w.onDeliver(p, node)
+	}
 	return true
 }
 
@@ -290,8 +327,35 @@ type Config struct {
 	// ErrInterrupted. The hook runs on the engine's hot path and must be
 	// cheap; the batch runner (internal/runner) uses it to impose
 	// wall-clock timeouts, slot budgets, and context cancellation without
-	// leaking a runaway simulation goroutine.
+	// leaking a runaway simulation goroutine. Under CompactTime the hook
+	// is polled only at the slots the fast path visits, so an interrupt
+	// that would have fired during a skipped dormant stretch is delivered
+	// at the next visited slot instead.
 	Interrupt func(slot int64) bool
+	// CompactTime enables the compact-time-scale fast path (the paper's
+	// Section III modeling move: analyze dissemination over active slots
+	// only). The engine precomputes each schedule's periodic active-slot
+	// structure, maintains the awake set incrementally, and steps directly
+	// from one relevant slot to the next — slots on which no transmission,
+	// reception, protocol decision or injection can occur are accounted
+	// into AwakeSlotsPerNode and TotalSlots arithmetically, never
+	// iterated. Results are bit-for-bit identical to the default path for
+	// every shipped protocol (see the equivalence suite in
+	// compact_test.go).
+	//
+	// The fast path silently falls back to the slot-by-slot path when it
+	// cannot be applied: when Adapt is set (schedules mutate mid-run), or
+	// when the schedules' hyperperiod (lcm of all periods) exceeds an
+	// internal bound, making offset bucketing impractical.
+	//
+	// Contract for custom protocols: the engine only invokes the protocol
+	// on relevant slots — slots where some awake node has a neighbor
+	// holding a packet it lacks, or where two adjacent nodes are awake
+	// while any node still misses a packet. A Protocol whose Intents
+	// consults World.ProtoRNG (or other state) outside those situations
+	// will observe a different random stream than under the default path;
+	// all protocols in internal/flood satisfy the contract.
+	CompactTime bool
 }
 
 func (c *Config) validate() error {
