@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race bench bench-engine docscheck figures figures-quick examples clean
+.PHONY: all build vet test test-short test-race bench bench-engine bench-guard docscheck figures figures-quick faults fuzz-faults examples clean
 
 all: build vet test
 
@@ -32,6 +32,11 @@ bench: bench-engine
 bench-engine:
 	$(GO) run ./cmd/engbench -o BENCH_engine.json
 
+# Assert the clean (no-fault) engine has not regressed against the
+# committed baseline: slot horizons exactly, wall clock within 50%.
+bench-guard:
+	$(GO) run ./cmd/engbench -against BENCH_engine.json -tolerance 0.5 -o ""
+
 # Documentation lints (mirrored in CI): godoc coverage + markdown links.
 docscheck:
 	$(GO) run ./cmd/doccheck internal cmd
@@ -43,6 +48,15 @@ figures:
 
 figures-quick:
 	$(GO) run ./cmd/figures -fig all -quick
+
+# The fault-injection resilience experiment (docs/FAULTS.md).
+faults:
+	$(GO) run ./cmd/figures -fig faults -quick
+
+# Randomized fault schedules vs engine invariants and compact-path
+# equivalence; CI runs a 10s smoke of this.
+fuzz-faults:
+	$(GO) test -fuzz FuzzFaultSchedule -fuzztime 30s ./internal/flood
 
 examples:
 	$(GO) run ./examples/quickstart

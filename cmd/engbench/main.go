@@ -13,6 +13,15 @@
 // Usage:
 //
 //	go run ./cmd/engbench [-reps 5] [-o BENCH_engine.json]
+//	go run ./cmd/engbench -against BENCH_engine.json -tolerance 0.5 -o ""
+//
+// With -against, the fresh measurement is additionally checked against a
+// committed baseline: every case's slot horizon must match exactly (a
+// mismatch means the engine's clean-path behavior changed), and wall-clock
+// per path may not regress by more than -tolerance (a fraction; wall time
+// on shared machines is noisy, so keep it generous). Passing -o "" skips
+// rewriting the baseline, turning the command into a pure regression
+// guard.
 package main
 
 import (
@@ -66,13 +75,25 @@ type baseline struct {
 
 func main() {
 	reps := flag.Int("reps", 5, "repetitions per case per path; the minimum wall-clock is reported")
-	out := flag.String("o", "BENCH_engine.json", "output file")
+	out := flag.String("o", "BENCH_engine.json", "output file (empty skips writing)")
+	against := flag.String("against", "", "committed baseline to guard against (empty skips the check)")
+	tolerance := flag.Float64("tolerance", 0.5, "allowed fractional wall-clock regression vs -against")
 	flag.Parse()
 
 	doc, err := measure(*reps)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "engbench:", err)
 		os.Exit(1)
+	}
+	if *against != "" {
+		if err := guard(doc, *against, *tolerance); err != nil {
+			fmt.Fprintln(os.Stderr, "engbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("baseline %s holds within %.0f%%\n", *against, *tolerance*100)
+	}
+	if *out == "" {
+		return
 	}
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -85,6 +106,44 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (%d cases)\n", *out, len(doc.Cases))
+}
+
+// guard compares a fresh measurement against a committed baseline. Slot
+// horizons must match exactly — they are deterministic, so any drift means
+// the clean path's behavior changed, not that the machine was busy. Wall
+// clock may not regress by more than tol per path.
+func guard(doc *baseline, path string, tol float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	byCell := make(map[string]benchCase, len(base.Cases))
+	for _, c := range base.Cases {
+		byCell[c.Protocol+"/"+c.Duty] = c
+	}
+	for _, c := range doc.Cases {
+		b, ok := byCell[c.Protocol+"/"+c.Duty]
+		if !ok {
+			return fmt.Errorf("%s: baseline lacks case %s/%s", path, c.Protocol, c.Duty)
+		}
+		if c.Slots != b.Slots {
+			return fmt.Errorf("%s/%s: slot horizon %d differs from baseline %d — engine behavior changed",
+				c.Protocol, c.Duty, c.Slots, b.Slots)
+		}
+		if lim := float64(b.SlowNS) * (1 + tol); float64(c.SlowNS) > lim {
+			return fmt.Errorf("%s/%s: reference path %.2fms regressed past baseline %.2fms +%.0f%%",
+				c.Protocol, c.Duty, float64(c.SlowNS)/1e6, float64(b.SlowNS)/1e6, tol*100)
+		}
+		if lim := float64(b.CompactNS) * (1 + tol); float64(c.CompactNS) > lim {
+			return fmt.Errorf("%s/%s: compact path %.2fms regressed past baseline %.2fms +%.0f%%",
+				c.Protocol, c.Duty, float64(c.CompactNS)/1e6, float64(b.CompactNS)/1e6, tol*100)
+		}
+	}
+	return nil
 }
 
 // measure runs the full grid and assembles the baseline document.

@@ -162,7 +162,10 @@ func one(id string, opts experiments.SimOptions) (*experiments.FigureData, error
 	case "adaptive":
 		// DutyCon-style dynamic duty control vs static configuration.
 		return experiments.Adaptive(opts)
+	case "faults":
+		// Resilience under scripted fault injection (internal/fault).
+		return experiments.Faults(opts)
 	default:
-		return nil, fmt.Errorf("unknown figure %q (fig3, table1, fig5-fig11, crosslayer, granularity, nodecdf, syncerr)", id)
+		return nil, fmt.Errorf("unknown figure %q (fig3, table1, fig5-fig11, gw, halfduplex, crosslayer, granularity, nodecdf, syncerr, hetero, backlog, robustness, adaptive, faults)", id)
 	}
 }

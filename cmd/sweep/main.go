@@ -6,6 +6,8 @@
 //
 //	sweep [-protocols opt,dbao,of] [-duties 0.02,0.05,0.1,0.2] [-seeds 3]
 //	      [-m 100] [-coverage 0.99] [-toposeed 1] [-syncerr 0]
+//	      [-faults spec.json] [-compact]
+//	      [-journal sweep.journal] [-resume] [-retries 0] [-backoff 1s]
 //	      [-out results.csv] [-parallel 0] [-timeout 0] [-progress]
 //
 // The grid executes on the internal/runner batch executor: -parallel
@@ -13,9 +15,19 @@
 // reports a typed job error naming the cell, and the CSV is byte-identical
 // for every -parallel value.
 //
+// -faults applies a JSON fault schedule (see internal/fault) to every
+// cell; -compact opts into the compact-time fast path, which silently
+// falls back per-run when the schedule is dynamic. -journal checkpoints
+// each finished run to a JSON-lines file, and -resume replays a prior
+// journal so a killed sweep restarts where it left off — the resumed CSV
+// is byte-identical to an uninterrupted run. The journal is keyed to the
+// full grid definition (including the fault spec), so resuming with
+// different parameters fails instead of mixing sweeps. -retries re-runs
+// cells that fail retryably (timeout, panic) with exponential -backoff.
+//
 // Columns: protocol, duty, period, seed, mean_delay, p50_delay, p99_delay,
-// transmissions, failures, loss, collision, busy, sync, overheard,
-// total_slots, completed.
+// transmissions, failures, loss, collision, busy, sync, jam, overheard,
+// crashes, reboots, total_slots, completed.
 package main
 
 import (
@@ -23,12 +35,14 @@ import (
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
+	"ldcflood/internal/fault"
 	"ldcflood/internal/flood"
 	"ldcflood/internal/rngutil"
 	"ldcflood/internal/runner"
@@ -47,6 +61,12 @@ func main() {
 		coverage  = flag.Float64("coverage", 0.99, "delivery-ratio target")
 		topoSeed  = flag.Uint64("toposeed", 1, "synthetic GreenOrbs topology seed")
 		syncErr   = flag.Float64("syncerr", 0, "local-synchronization miss probability")
+		faults    = flag.String("faults", "", "JSON fault-schedule file applied to every cell (see internal/fault)")
+		compact   = flag.Bool("compact", false, "use the compact-time fast path (falls back per-run for dynamic fault schedules)")
+		journal   = flag.String("journal", "", "checkpoint finished runs to this JSON-lines file")
+		resume    = flag.Bool("resume", false, "resume from an existing -journal, skipping already-completed runs")
+		retries   = flag.Int("retries", 0, "re-run a retryably failing cell (timeout, panic) up to this many times")
+		backoff   = flag.Duration("backoff", time.Second, "base delay before the first retry, doubling per attempt")
 		out       = flag.String("out", "", "output CSV path (default stdout)")
 		parallel  = flag.Int("parallel", 0, "batch-runner workers (0 = GOMAXPROCS); the CSV is identical for every value")
 		timeout   = flag.Duration("timeout", 0, "per-run wall-clock budget (0 = none); an overrunning cell fails with a typed timeout error")
@@ -72,6 +92,12 @@ func main() {
 		coverage:     *coverage,
 		topoSeed:     *topoSeed,
 		syncErr:      *syncErr,
+		faultsPath:   *faults,
+		compact:      *compact,
+		journalPath:  *journal,
+		resume:       *resume,
+		retries:      *retries,
+		backoff:      *backoff,
 		parallel:     *parallel,
 		timeout:      *timeout,
 	}
@@ -98,9 +124,25 @@ type sweepConfig struct {
 	coverage     float64
 	topoSeed     uint64
 	syncErr      float64
+	faultsPath   string // JSON fault schedule, "" for a clean sweep
+	compact      bool
+	journalPath  string // "" disables checkpointing
+	resume       bool
+	retries      int
+	backoff      time.Duration
 	parallel     int
 	timeout      time.Duration
 	progress     io.Writer // nil disables progress reporting
+}
+
+// journalKey identifies the grid a journal belongs to: every parameter
+// that changes the simulation output, including the fault spec itself (not
+// its file name, so an edited spec invalidates old checkpoints).
+func (sc sweepConfig) journalKey(faultJSON []byte) string {
+	h := fnv.New64a()
+	h.Write(faultJSON)
+	return fmt.Sprintf("sweep|protocols=%s|duties=%s|seeds=%d|m=%d|coverage=%g|toposeed=%d|syncerr=%g|compact=%v|faults=%x",
+		sc.protocolsCSV, sc.dutiesCSV, sc.seeds, sc.m, sc.coverage, sc.topoSeed, sc.syncErr, sc.compact, h.Sum64())
 }
 
 func run(w io.Writer, sc sweepConfig) error {
@@ -130,6 +172,20 @@ func run(w io.Writer, sc sweepConfig) error {
 	}
 
 	g := topology.GreenOrbs(sc.topoSeed)
+	var spec *fault.Schedule
+	var faultJSON []byte
+	if sc.faultsPath != "" {
+		var err error
+		if faultJSON, err = os.ReadFile(sc.faultsPath); err != nil {
+			return err
+		}
+		if spec, err = fault.Parse(faultJSON); err != nil {
+			return err
+		}
+		if err := spec.Validate(g); err != nil {
+			return err
+		}
+	}
 	var cells []cell
 	for _, p := range protocols {
 		for _, d := range duties {
@@ -153,10 +209,32 @@ func run(w io.Writer, sc sweepConfig) error {
 			Coverage:      sc.coverage,
 			Seed:          c.seed,
 			SyncErrorProb: sc.syncErr,
+			Faults:        spec,
+			CompactTime:   sc.compact,
 		}
 	}
 
-	ropts := runner.Options{Workers: sc.parallel, Timeout: sc.timeout}
+	ropts := runner.Options{
+		Workers:      sc.parallel,
+		Timeout:      sc.timeout,
+		Retries:      sc.retries,
+		RetryBackoff: sc.backoff,
+	}
+	if sc.journalPath != "" {
+		j, err := runner.OpenJournal(sc.journalPath, sc.journalKey(faultJSON), sc.resume)
+		if err != nil {
+			return err
+		}
+		defer j.Close()
+		ropts.Journal = j
+		defer func() {
+			if err := j.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "sweep: warning:", err)
+			}
+		}()
+	} else if sc.resume {
+		return fmt.Errorf("-resume needs -journal")
+	}
 	if sc.progress != nil {
 		ropts.Progress = func(p runner.Progress) {
 			fmt.Fprintf(sc.progress, "\rsweep: %d/%d runs (%d failed), %.2fM slots, %s ",
@@ -179,8 +257,8 @@ func run(w io.Writer, sc sweepConfig) error {
 	header := []string{
 		"protocol", "duty", "period", "seed",
 		"mean_delay", "p50_delay", "p99_delay",
-		"transmissions", "failures", "loss", "collision", "busy", "sync",
-		"overheard", "total_slots", "completed",
+		"transmissions", "failures", "loss", "collision", "busy", "sync", "jam",
+		"overheard", "crashes", "reboots", "total_slots", "completed",
 	}
 	if err := cw.Write(header); err != nil {
 		return err
@@ -221,7 +299,10 @@ func row(c cell, res *sim.Result) []string {
 		fmt.Sprintf("%d", res.CollisionFailures),
 		fmt.Sprintf("%d", res.BusyFailures),
 		fmt.Sprintf("%d", res.SyncFailures),
+		fmt.Sprintf("%d", res.JamFailures),
 		fmt.Sprintf("%d", res.Overheard),
+		fmt.Sprintf("%d", res.Crashes),
+		fmt.Sprintf("%d", res.Reboots),
 		fmt.Sprintf("%d", res.TotalSlots),
 		fmt.Sprintf("%v", res.Completed),
 	}

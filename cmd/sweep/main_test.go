@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/csv"
 	"errors"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
@@ -44,11 +46,11 @@ func TestRunProducesCSV(t *testing.T) {
 	if len(records) != 1+8 {
 		t.Fatalf("rows = %d, want 9", len(records))
 	}
-	if records[0][0] != "protocol" || len(records[0]) != 16 {
+	if records[0][0] != "protocol" || len(records[0]) != 19 {
 		t.Fatalf("bad header: %v", records[0])
 	}
 	for _, rec := range records[1:] {
-		if rec[15] != "true" {
+		if rec[18] != "true" {
 			t.Fatalf("incomplete run in row %v", rec)
 		}
 		delay, err := strconv.ParseFloat(rec[4], 64)
@@ -146,5 +148,148 @@ func TestRunErrors(t *testing.T) {
 		if err := run(&buf, sc); err == nil {
 			t.Fatalf("case %d accepted", i)
 		}
+	}
+}
+
+// writeFaultSpec drops a small fault schedule (a jam over a node list plus
+// one crash/reboot) into a temp file and returns its path.
+func writeFaultSpec(t *testing.T) string {
+	t.Helper()
+	spec := `{
+		"jams": [{"from": 0, "until": 200, "nodes": [5, 6, 7]}],
+		"crashes": [{"node": 9, "at": 10, "reboot_at": 100}]
+	}`
+	path := filepath.Join(t.TempDir(), "faults.json")
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunFaultColumns(t *testing.T) {
+	var clean, faulted bytes.Buffer
+	sc := testConfig()
+	if err := run(&clean, sc); err != nil {
+		t.Fatal(err)
+	}
+	sc.faultsPath = writeFaultSpec(t)
+	if err := run(&faulted, sc); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&faulted).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := records[1]
+	if jam, _ := strconv.Atoi(rec[13]); jam == 0 {
+		t.Fatalf("jam column = %q, want > 0", rec[13])
+	}
+	if rec[15] != "1" || rec[16] != "1" {
+		t.Fatalf("crashes/reboots = %q/%q, want 1/1", rec[15], rec[16])
+	}
+	// The clean sweep reports zeros in the same columns.
+	records, err = csv.NewReader(&clean).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec = records[1]
+	if rec[13] != "0" || rec[15] != "0" || rec[16] != "0" {
+		t.Fatalf("clean run has fault counters: %v", rec)
+	}
+}
+
+func TestRunFaultsBadSpec(t *testing.T) {
+	var buf bytes.Buffer
+	sc := testConfig()
+	sc.faultsPath = filepath.Join(t.TempDir(), "missing.json")
+	if err := run(&buf, sc); err == nil {
+		t.Fatal("missing fault file accepted")
+	}
+	path := filepath.Join(t.TempDir(), "bad.json")
+	// Node 0 is the source; crashing it is rejected by validation.
+	os.WriteFile(path, []byte(`{"crashes": [{"node": 0, "at": 1, "reboot_at": -1}]}`), 0o644)
+	sc.faultsPath = path
+	if err := run(&buf, sc); err == nil {
+		t.Fatal("invalid fault spec accepted")
+	}
+}
+
+func TestRunJournalResumeByteIdentical(t *testing.T) {
+	sc := testConfig()
+	sc.protocolsCSV = "opt,of"
+	sc.seeds = 2
+	sc.faultsPath = writeFaultSpec(t)
+
+	// Reference: one uninterrupted sweep, no journal.
+	var want bytes.Buffer
+	if err := run(&want, sc); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted sweep: run the full grid once with a journal, then strip
+	// the journal back to its first two records — the state a kill would
+	// leave behind.
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	var scratch bytes.Buffer
+	scJ := sc
+	scJ.journalPath = path
+	if err := run(&scratch, scJ); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	if len(lines) < 4 {
+		t.Fatalf("journal has %d lines, want header + 4 records", len(lines))
+	}
+	truncated := bytes.Join(lines[:3], nil) // header + 2 records
+	if err := os.WriteFile(path, truncated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume against the truncated journal: 2 cells replay, 2 re-run.
+	var got bytes.Buffer
+	scR := scJ
+	scR.resume = true
+	if err := run(&got, scR); err != nil {
+		t.Fatal(err)
+	}
+	if want.String() != got.String() {
+		t.Fatal("resumed sweep CSV differs from the uninterrupted run")
+	}
+
+	// Resuming the now-complete journal with different grid parameters must
+	// fail loudly.
+	scBad := scR
+	scBad.seeds = 3
+	if err := run(&got, scBad); err == nil {
+		t.Fatal("resume with a different grid accepted")
+	}
+}
+
+func TestRunResumeNeedsJournal(t *testing.T) {
+	var buf bytes.Buffer
+	sc := testConfig()
+	sc.resume = true
+	if err := run(&buf, sc); err == nil {
+		t.Fatal("-resume without -journal accepted")
+	}
+}
+
+func TestRunCompactMatchesReference(t *testing.T) {
+	var slow, fast bytes.Buffer
+	sc := testConfig()
+	sc.seeds = 2
+	if err := run(&slow, sc); err != nil {
+		t.Fatal(err)
+	}
+	sc.compact = true
+	if err := run(&fast, sc); err != nil {
+		t.Fatal(err)
+	}
+	if slow.String() != fast.String() {
+		t.Fatal("compact-time sweep differs from the reference path")
 	}
 }

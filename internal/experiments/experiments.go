@@ -165,8 +165,8 @@ func All(opts SimOptions) ([]*FigureData, error) {
 // Lemma 1 illustration, the Section IV-A2 half-duplex accounting, the
 // Section VI cross-layer sweep, schedule granularity, the per-node delay
 // CDF, synchronization-error sensitivity, the heterogeneous-link study,
-// the source-backlog stability probe, and the cross-deployment robustness
-// check.
+// the source-backlog stability probe, the cross-deployment robustness
+// check, and the fault-injection resilience study.
 func AllExtensions(opts SimOptions) ([]*FigureData, error) {
 	var out []*FigureData
 	steps := []func() (*FigureData, error){
@@ -180,6 +180,7 @@ func AllExtensions(opts SimOptions) ([]*FigureData, error) {
 		func() (*FigureData, error) { return Backlog(opts) },
 		func() (*FigureData, error) { return Robustness(opts) },
 		func() (*FigureData, error) { return Adaptive(opts) },
+		func() (*FigureData, error) { return Faults(opts) },
 	}
 	for _, step := range steps {
 		fd, err := step()

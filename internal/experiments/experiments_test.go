@@ -291,7 +291,7 @@ func TestAllExtensionsQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []string{"gw", "halfduplex", "crosslayer", "granularity", "nodecdf", "syncerr", "hetero", "backlog", "robustness", "adaptive"}
+	want := []string{"gw", "halfduplex", "crosslayer", "granularity", "nodecdf", "syncerr", "hetero", "backlog", "robustness", "adaptive", "faults"}
 	if len(figs) != len(want) {
 		t.Fatalf("got %d extension figures, want %d", len(figs), len(want))
 	}
@@ -309,5 +309,30 @@ func TestSeriesByNameMissing(t *testing.T) {
 	fd := &FigureData{}
 	if fd.SeriesByName("nope") != nil {
 		t.Fatal("expected nil for missing series")
+	}
+}
+
+func TestFaultsQuick(t *testing.T) {
+	opts := tinyOpts()
+	opts.Protocols = []string{"opt"}
+	fd, err := Faults(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fd.ID != "faults" {
+		t.Fatalf("ID = %q", fd.ID)
+	}
+	// One clean and one faulted delay curve for the single protocol.
+	if len(fd.Series) != 2 {
+		t.Fatalf("series = %d, want 2", len(fd.Series))
+	}
+	if len(fd.TableRows) != 1 || len(fd.TableRows[0]) != len(fd.TableHeaders) {
+		t.Fatalf("table shape = %dx%d", len(fd.TableRows), len(fd.TableRows[0]))
+	}
+	if !strings.HasSuffix(fd.TableRows[0][3], "x") {
+		t.Fatalf("inflation cell = %q", fd.TableRows[0][3])
+	}
+	if len(fd.Render()) < 40 {
+		t.Fatal("render too small")
 	}
 }

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"ldcflood/internal/analysis"
+	"ldcflood/internal/fault"
+	"ldcflood/internal/metrics"
+	"ldcflood/internal/runner"
+	"ldcflood/internal/schedule"
+	"ldcflood/internal/sim"
+	"ldcflood/internal/topology"
+)
+
+// faultSchedule builds the experiment's reference fault scenario against a
+// concrete topology: bursty Gilbert–Elliott degradation of the weak link
+// class, two mid-flood node crashes (one rebooting, one permanent), and a
+// transient jamming disc over the deployment's center. Node indices and
+// the disc scale with the graph, so the same scenario applies to any
+// deployment.
+func faultSchedule(g *topology.Graph) *fault.Schedule {
+	n := g.N()
+	s := &fault.Schedule{
+		Links: []fault.LinkRule{{
+			// Burst-degrade the transitional links — the class the paper's
+			// k-class analysis shows dominates flooding delay.
+			MaxPRR:   0.75,
+			PGB:      0.01,
+			PBG:      0.05,
+			BadScale: 0.25,
+		}},
+		Crashes: []fault.Crash{
+			{Node: n / 3, At: 200, RebootAt: 600},
+			{Node: 2 * n / 3, At: 500, RebootAt: -1},
+		},
+	}
+	if g.Pos != nil {
+		var cx, cy, maxX, maxY float64
+		for _, p := range g.Pos {
+			cx += p.X
+			cy += p.Y
+			if p.X > maxX {
+				maxX = p.X
+			}
+			if p.Y > maxY {
+				maxY = p.Y
+			}
+		}
+		cx /= float64(n)
+		cy /= float64(n)
+		s.Jams = append(s.Jams, fault.Jam{
+			From: 300, Until: 800,
+			X: cx, Y: cy, Radius: (maxX + maxY) / 8,
+		})
+	}
+	return s
+}
+
+// faultJobs mirrors protocolJobs but attaches the fault schedule (nil for
+// the clean baseline) and records per-node receptions, which the recovery
+// metrics need.
+func faultJobs(g *topology.Graph, name string, period int, spec *fault.Schedule, opts SimOptions) ([]sim.Config, error) {
+	jobs, err := protocolJobs(g, name, period, opts)
+	if err != nil {
+		return nil, err
+	}
+	for i := range jobs {
+		jobs[i].Faults = spec
+		jobs[i].RecordReceptions = true
+	}
+	return jobs, nil
+}
+
+// Faults stresses the protocols beyond the paper's static loss model: the
+// same flood runs clean and under a scripted fault scenario (bursty links,
+// node churn, a jamming outage — see internal/fault), and the resilience
+// metrics report what the faults cost. The paper's "limited blocking
+// effect" predicts flooding absorbs localized disruption: delay inflates
+// but coverage holds, and rebooted nodes are re-served by the ongoing
+// flood without any protocol changes.
+func Faults(opts SimOptions) (*FigureData, error) {
+	opts.normalize()
+	g := topology.GreenOrbs(opts.TopoSeed)
+	const duty = 0.05
+	period := schedule.PeriodForDuty(duty)
+	spec := faultSchedule(g)
+	if err := spec.Validate(g); err != nil {
+		return nil, fmt.Errorf("experiments: faults: %w", err)
+	}
+	k := analysis.KClass(g.MeanLinkPRR())
+	bound := analysis.PredictedDelay(g.N()-1, opts.Coverage, k, period)
+
+	fd := &FigureData{
+		ID:     "faults",
+		Title:  fmt.Sprintf("Resilience under scripted faults (GreenOrbs, duty 5%%, M=%d)", opts.M),
+		XLabel: "packet index",
+		YLabel: "mean flooding delay / time slots",
+	}
+	fd.TableHeaders = []string{
+		"protocol", "clean delay", "faulted delay", "inflation",
+		"clean covered", "faulted covered", "mean recovery", "unrecovered",
+	}
+	runBatch := func(name string, withFaults *fault.Schedule) ([]*sim.Result, error) {
+		jobs, err := faultJobs(g, name, period, withFaults, opts)
+		if err != nil {
+			return nil, err
+		}
+		rs, _ := runner.Run(context.Background(), jobs, opts.runnerOptions())
+		return rs.Sims()
+	}
+	for _, name := range opts.Protocols {
+		clean, err := runBatch(name, nil)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: faults %s clean: %w", name, err)
+		}
+		faulted, err := runBatch(name, spec)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: faults %s faulted: %w", name, err)
+		}
+		r, err := metrics.ComputeResilience(clean, faulted, spec)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: faults %s: %w", name, err)
+		}
+		cleanAgg, err := metrics.Combine(clean)
+		if err != nil {
+			return nil, err
+		}
+		faultedAgg, err := metrics.Combine(faulted)
+		if err != nil {
+			return nil, err
+		}
+		xs := make([]float64, opts.M)
+		for p := range xs {
+			xs[p] = float64(p)
+		}
+		fd.Series = append(fd.Series,
+			Series{Name: protoDisplayName(name) + " clean", X: xs, Y: cleanAgg.MeanDelayPerPacket},
+			Series{Name: protoDisplayName(name) + " faulted", X: xs, Y: faultedAgg.MeanDelayPerPacket},
+		)
+		recovery := "n/a"
+		if r.Recovery.N > 0 {
+			recovery = fmt.Sprintf("%.0f slots", r.Recovery.Mean)
+		}
+		fd.TableRows = append(fd.TableRows, []string{
+			protoDisplayName(name),
+			fmt.Sprintf("%.0f", r.CleanDelay),
+			fmt.Sprintf("%.0f", r.FaultedDelay),
+			fmt.Sprintf("%.2fx", r.DelayInflation),
+			fmt.Sprintf("%.2f", r.CleanCovered),
+			fmt.Sprintf("%.2f", r.FaultedCovered),
+			recovery,
+			fmt.Sprintf("%d", r.Unrecovered),
+		})
+	}
+	fd.Notes = append(fd.Notes,
+		fmt.Sprintf("λmax lower bound for the clean run at this duty: %.0f slots — inflation above 1x is the faults' own cost", bound),
+		"the coverage target tolerates the permanently-failed node, so covered fractions holding at the clean level is the limited blocking effect under churn",
+	)
+	return fd, nil
+}

@@ -1,0 +1,46 @@
+package fault
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Parse decodes a JSON fault spec. The document mirrors Schedule's JSON
+// tags; unknown fields are rejected so a typoed key fails loudly instead
+// of silently injecting nothing:
+//
+//	{
+//	  "links":   [{"min_prr": 0.2, "max_prr": 0.8,
+//	               "pgb": 0.02, "pbg": 0.1, "bad_scale": 0.3}],
+//	  "crashes": [{"node": 17, "at": 400, "reboot_at": 900}],
+//	  "jams":    [{"from": 200, "until": 260,
+//	               "x": 150, "y": 80, "radius": 40}]
+//	}
+//
+// Parse performs only structural decoding; call Schedule.Validate with the
+// target topology for semantic checks (the engine re-validates at run
+// time).
+func Parse(data []byte) (*Schedule, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	s := &Schedule{}
+	if err := dec.Decode(s); err != nil {
+		return nil, fmt.Errorf("fault: bad spec: %w", err)
+	}
+	// Trailing garbage after the document is a structural error too.
+	if dec.More() {
+		return nil, fmt.Errorf("fault: bad spec: trailing data after JSON document")
+	}
+	return s, nil
+}
+
+// Load reads and parses a JSON fault spec from a file.
+func Load(path string) (*Schedule, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fault: %w", err)
+	}
+	return Parse(data)
+}

@@ -1,0 +1,134 @@
+package metrics
+
+// Resilience metrics for fault-injected runs (internal/fault): how much a
+// fault schedule inflates flooding delay over a clean baseline, how much
+// coverage survives, and how quickly crashed nodes are re-served after
+// rebooting. These quantify the paper's "limited blocking effect" claim
+// under conditions harsher than its static k-class loss model.
+
+import (
+	"fmt"
+	"math"
+
+	"ldcflood/internal/fault"
+	"ldcflood/internal/sim"
+	"ldcflood/internal/stats"
+)
+
+// Resilience compares a faulted batch against a clean baseline of the same
+// configuration (same protocol, topology, schedules, and seeds — only the
+// fault schedule differs).
+type Resilience struct {
+	// CleanDelay / FaultedDelay are the pooled mean per-packet flooding
+	// delays (slots) of the two batches, NaN when nothing was covered.
+	CleanDelay   float64
+	FaultedDelay float64
+	// DelayInflation is FaultedDelay / CleanDelay — 1 means the faults cost
+	// nothing; the paper's λmax bound gives the floor CleanDelay cannot go
+	// below, so inflation isolates the faults' contribution.
+	DelayInflation float64
+	// CleanCovered / FaultedCovered are the fractions of (run, packet)
+	// pairs that reached the coverage target.
+	CleanCovered   float64
+	FaultedCovered float64
+	// Recovery summarizes per-crash recovery times (slots from reboot until
+	// the rebooted node again holds every packet injected before its
+	// reboot), pooled over the faulted runs. Empty when the schedule
+	// reboots no one.
+	Recovery stats.Summary
+	// Recovered / Unrecovered count (run, crash) pairs whose node did / did
+	// not recover fully within the simulated horizon.
+	Recovered   int
+	Unrecovered int
+}
+
+// ComputeResilience derives resilience metrics from paired clean and
+// faulted batches. Recovery metrics need results recorded with
+// sim.Config.RecordReceptions and a schedule with rebooting crashes;
+// otherwise they are zero.
+func ComputeResilience(clean, faulted []*sim.Result, spec *fault.Schedule) (*Resilience, error) {
+	ca, err := Combine(clean)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: clean batch: %w", err)
+	}
+	fa, err := Combine(faulted)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: faulted batch: %w", err)
+	}
+	r := &Resilience{
+		CleanDelay:     ca.Delay.Mean,
+		FaultedDelay:   fa.Delay.Mean,
+		DelayInflation: fa.Delay.Mean / ca.Delay.Mean,
+		CleanCovered:   ca.CoveredFraction,
+		FaultedCovered: fa.CoveredFraction,
+	}
+	var pooled []float64
+	for _, res := range faulted {
+		times, err := RecoveryTimes(res, spec)
+		if err != nil {
+			return nil, err
+		}
+		for _, rt := range times {
+			if rt < 0 {
+				r.Unrecovered++
+				continue
+			}
+			r.Recovered++
+			pooled = append(pooled, float64(rt))
+		}
+	}
+	r.Recovery = stats.Summarize(pooled)
+	return r, nil
+}
+
+// RecoveryTimes returns, for each rebooting crash in spec (in schedule
+// order, permanent failures skipped), how many slots after its reboot the
+// node again held every packet injected before the reboot — the time to
+// undo the crash's packet loss. A crash whose node never fully recovered
+// within the run reports -1.
+//
+// res must carry per-node reception times (sim.Config.RecordReceptions).
+// With several crash intervals on the same node, a later crash wipes the
+// receptions an earlier recovery is measured from, so recovery times for
+// the earlier interval absorb the later downtime — an acceptable
+// approximation for the sparse churn schedules this is meant for.
+func RecoveryTimes(res *sim.Result, spec *fault.Schedule) ([]int64, error) {
+	if spec == nil {
+		return nil, nil
+	}
+	var out []int64
+	for _, c := range spec.Crashes {
+		if c.RebootAt < 0 {
+			continue
+		}
+		if res.NodeRecvTime == nil {
+			return nil, fmt.Errorf("metrics: recovery times need sim.Config.RecordReceptions")
+		}
+		recovery := int64(math.MinInt64)
+		recovered := true
+		for p := 0; p < res.M; p++ {
+			if res.InjectTime[p] < 0 || res.InjectTime[p] >= c.RebootAt {
+				continue // not injected, or injected after the reboot
+			}
+			rt := res.NodeRecvTime[p][c.Node]
+			if rt < c.RebootAt {
+				// Never re-received after the reboot (crashing wiped any
+				// earlier reception, so rt is -1 or from a later interval).
+				recovered = false
+				break
+			}
+			if d := rt - c.RebootAt; d > recovery {
+				recovery = d
+			}
+		}
+		switch {
+		case !recovered:
+			out = append(out, -1)
+		case recovery == int64(math.MinInt64):
+			out = append(out, 0) // nothing was injected before the reboot
+		default:
+			out = append(out, recovery)
+		}
+	}
+	return out, nil
+}

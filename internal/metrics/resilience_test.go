@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"ldcflood/internal/fault"
+	"ldcflood/internal/sim"
+)
+
+// recvResult builds a fakeResult carrying per-node reception times for n
+// nodes, defaulting every reception to the packet's delay endpoint.
+func recvResult(delays []int64, injects []int64, n int) *sim.Result {
+	r := fakeResult("OPT", delays, 0)
+	r.InjectTime = injects
+	r.NodeRecvTime = make([][]int64, len(delays))
+	for p := range r.NodeRecvTime {
+		r.NodeRecvTime[p] = make([]int64, n)
+		for v := range r.NodeRecvTime[p] {
+			r.NodeRecvTime[p][v] = injects[p] + delays[p]
+		}
+	}
+	return r
+}
+
+func TestRecoveryTimesNilSpec(t *testing.T) {
+	res := recvResult([]int64{5}, []int64{0}, 4)
+	if out, err := RecoveryTimes(res, nil); err != nil || out != nil {
+		t.Fatalf("nil spec: out=%v err=%v", out, err)
+	}
+	// A schedule with only permanent failures measures nothing either.
+	spec := &fault.Schedule{Crashes: []fault.Crash{{Node: 2, At: 1, RebootAt: -1}}}
+	if out, err := RecoveryTimes(res, spec); err != nil || len(out) != 0 {
+		t.Fatalf("permanent-only spec: out=%v err=%v", out, err)
+	}
+}
+
+func TestRecoveryTimesNeedReceptions(t *testing.T) {
+	res := fakeResult("OPT", []int64{5}, 0)
+	res.InjectTime = []int64{0}
+	spec := &fault.Schedule{Crashes: []fault.Crash{{Node: 1, At: 1, RebootAt: 10}}}
+	if _, err := RecoveryTimes(res, spec); err == nil {
+		t.Fatal("missing NodeRecvTime accepted")
+	}
+}
+
+func TestRecoveryTimes(t *testing.T) {
+	// Node 3 crashes and reboots at slot 100. Packet 0 (injected at 0)
+	// reaches it again at 130, packet 1 (injected at 20) at 105; packet 2
+	// is injected after the reboot and must not count.
+	res := recvResult([]int64{40, 30, 20}, []int64{0, 20, 150}, 6)
+	res.NodeRecvTime[0][3] = 130
+	res.NodeRecvTime[1][3] = 105
+	spec := &fault.Schedule{Crashes: []fault.Crash{
+		{Node: 3, At: 50, RebootAt: 100},
+		{Node: 4, At: 10, RebootAt: 40},
+	}}
+	// Node 4's receptions all land at inject+delay ≥ 40? Packet 0 arrives
+	// at 40 = RebootAt, which counts as re-received (recovery 0); packet 1
+	// arrives at 50 → recovery 10.
+	out, err := RecoveryTimes(res, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0] != 30 || out[1] != 10 {
+		t.Fatalf("recovery times = %v, want [30 10]", out)
+	}
+
+	// An uninjected packet is skipped rather than counted as a loss.
+	res.InjectTime[1] = -1
+	if out, _ := RecoveryTimes(res, spec); out[0] != 30 {
+		t.Fatalf("uninjected packet changed recovery to %v", out)
+	}
+	res.InjectTime[1] = 20
+
+	// If a pre-reboot packet never arrives after the reboot, the crash is
+	// unrecovered.
+	res.NodeRecvTime[1][3] = -1
+	if out, _ := RecoveryTimes(res, spec); out[0] != -1 {
+		t.Fatalf("lost packet not reported as unrecovered: %v", out)
+	}
+
+	// A reboot before any injection measures a trivial zero recovery.
+	early := &fault.Schedule{Crashes: []fault.Crash{{Node: 2, At: -5, RebootAt: 0}}}
+	if out, _ := RecoveryTimes(res, early); len(out) != 1 || out[0] != 0 {
+		t.Fatalf("pre-injection reboot = %v, want [0]", out)
+	}
+}
+
+func TestComputeResilience(t *testing.T) {
+	clean := []*sim.Result{recvResult([]int64{10, 10}, []int64{0, 50}, 5)}
+	faulted := []*sim.Result{recvResult([]int64{15, 20}, []int64{0, 50}, 5)}
+	faulted[0].NodeRecvTime[0][2] = 120
+	faulted[0].NodeRecvTime[1][2] = 110
+	spec := &fault.Schedule{Crashes: []fault.Crash{{Node: 2, At: 30, RebootAt: 100}}}
+
+	r, err := ComputeResilience(clean, faulted, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CleanDelay != 10 || r.FaultedDelay != 17.5 {
+		t.Fatalf("delays = %v / %v", r.CleanDelay, r.FaultedDelay)
+	}
+	if math.Abs(r.DelayInflation-1.75) > 1e-12 {
+		t.Fatalf("inflation = %v, want 1.75", r.DelayInflation)
+	}
+	if r.CleanCovered != 1 || r.FaultedCovered != 1 {
+		t.Fatalf("covered = %v / %v", r.CleanCovered, r.FaultedCovered)
+	}
+	// Both pre-reboot packets re-arrived at node 2 after its reboot; the
+	// slower one (slot 120) sets the recovery time.
+	if r.Recovered != 1 || r.Unrecovered != 0 {
+		t.Fatalf("recovered = %d/%d, want 1/0", r.Recovered, r.Unrecovered)
+	}
+	if r.Recovery.N != 1 || r.Recovery.Mean != 20 {
+		t.Fatalf("recovery summary = %+v, want one sample of 20", r.Recovery)
+	}
+}

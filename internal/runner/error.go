@@ -24,6 +24,22 @@ const (
 	KindCanceled
 )
 
+// Retryable reports whether failures of this kind may succeed on a
+// re-run and are therefore worth retrying (Options.Retries):
+//
+//   - KindTimeout: yes — wall clocks depend on machine load, so the same
+//     job can finish in time on a quieter machine.
+//   - KindPanic: yes — panics can stem from transient process state; a
+//     deterministic panic simply fails again and exhausts its budget.
+//   - KindSim: no — engine errors are validation or protocol-contract
+//     failures, deterministic in the Config.
+//   - KindSlotLimit: no — simulated time is deterministic; the job would
+//     hit the same limit again.
+//   - KindCanceled: no — the batch is shutting down.
+func (k Kind) Retryable() bool {
+	return k == KindTimeout || k == KindPanic
+}
+
 // String implements fmt.Stringer.
 func (k Kind) String() string {
 	switch k {
@@ -53,6 +69,14 @@ var (
 // JobError reports one failed job. It wraps both the sentinel for its Kind
 // and the underlying cause, so errors.Is works against either (e.g.
 // errors.Is(err, runner.ErrTimeout), errors.Is(err, context.Canceled)).
+//
+// Unwrap contract: the cause chain carries exactly the failure's own
+// classification. A runner-imposed abort (timeout, slot limit,
+// cancellation) does NOT unwrap to sim.ErrInterrupted — that sentinel is
+// reserved for caller-supplied sim.Config.Interrupt hooks, whose firing is
+// an ordinary engine outcome of kind KindSim. Use Kind (or the per-kind
+// sentinels) to classify, and Kind.Retryable to decide whether a retry can
+// help.
 type JobError struct {
 	// Index is the job's position in the input slice.
 	Index int

@@ -26,6 +26,7 @@ package runner
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -60,6 +61,21 @@ type Options struct {
 	// not be safe for concurrent use; it runs on worker goroutines and
 	// must be fast.
 	Progress func(Progress)
+	// Retries is how many times a job whose failure kind is retryable
+	// (Kind.Retryable: timeout, panic) is re-run before its *JobError is
+	// recorded. 0 disables retries. Retries never change successful
+	// results — sim.Run is deterministic — they only give transiently
+	// failing jobs more chances.
+	Retries int
+	// RetryBackoff is the wait before the first retry; each further retry
+	// doubles it (exponential backoff). The wait is context-aware: batch
+	// cancellation ends it immediately. 0 retries back to back.
+	RetryBackoff time.Duration
+	// Journal, when non-nil, checkpoints the batch: each successful job is
+	// appended to the journal as it completes, and jobs already present
+	// (from a previous, interrupted run of the same batch) are served from
+	// it without simulating. See OpenJournal.
+	Journal *Journal
 }
 
 // Progress is a snapshot of batch progress passed to Options.Progress.
@@ -175,17 +191,54 @@ func Run(ctx context.Context, jobs []sim.Config, opts Options) (Results, Stats) 
 				if i >= len(jobs) {
 					return
 				}
+				if opts.Journal != nil {
+					if res, ok := opts.Journal.Done(i); ok {
+						finish(i, res, nil)
+						continue
+					}
+				}
 				if err := ctx.Err(); err != nil {
 					finish(i, nil, &JobError{Index: i, Kind: KindCanceled, Err: err})
 					continue
 				}
 				res, err := runJob(ctx, i, jobs[i], opts)
+				for attempt := 0; err != nil && attempt < opts.Retries && retryable(err); attempt++ {
+					if !backoff(ctx, opts.RetryBackoff<<uint(attempt)) {
+						break
+					}
+					res, err = runJob(ctx, i, jobs[i], opts)
+				}
+				if err == nil && opts.Journal != nil {
+					opts.Journal.record(i, res)
+				}
 				finish(i, res, err)
 			}
 		}()
 	}
 	wg.Wait()
 	return results, Stats{Jobs: len(jobs), Failed: failed, Slots: slots, Wall: time.Since(start)}
+}
+
+// retryable reports whether err is a *JobError of a retryable kind.
+func retryable(err error) bool {
+	var je *JobError
+	return errors.As(err, &je) && je.Kind.Retryable()
+}
+
+// backoff sleeps for d (0 returns immediately) unless the context ends
+// first; it reports whether the caller should proceed with the retry.
+func backoff(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // pollEvery is how many slots pass between the comparatively expensive
@@ -240,6 +293,18 @@ func runJob(ctx context.Context, index int, cfg sim.Config, opts Options) (res *
 
 	r, err := sim.Run(cfg)
 	if err != nil {
+		// When the abort came from the runner's own hook, replace the
+		// engine's interrupt error as the cause: a runner-imposed timeout or
+		// budget is not a sim.ErrInterrupted condition (that sentinel is for
+		// caller-supplied Interrupt hooks — see the JobError contract).
+		switch kind {
+		case KindTimeout:
+			err = fmt.Errorf("exceeded wall-clock budget %v", opts.Timeout)
+		case KindSlotLimit:
+			err = fmt.Errorf("exceeded slot budget %d", opts.SlotLimit)
+		case KindCanceled:
+			err = ctx.Err()
+		}
 		return nil, &JobError{Index: index, Kind: kind, Err: err}
 	}
 	return r, nil

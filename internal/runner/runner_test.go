@@ -137,8 +137,13 @@ func TestTimeoutBecomesJobError(t *testing.T) {
 	if !errors.As(rs[1].Err, &je) || je.Kind != runner.KindTimeout {
 		t.Fatalf("stuck job error = %v, want KindTimeout", rs[1].Err)
 	}
-	if !errors.Is(rs[1].Err, runner.ErrTimeout) || !errors.Is(rs[1].Err, sim.ErrInterrupted) {
-		t.Fatalf("timeout error %v does not unwrap to ErrTimeout and sim.ErrInterrupted", rs[1].Err)
+	if !errors.Is(rs[1].Err, runner.ErrTimeout) {
+		t.Fatalf("timeout error %v does not unwrap to ErrTimeout", rs[1].Err)
+	}
+	// A runner-imposed timeout is not a caller interrupt: the JobError
+	// contract reserves sim.ErrInterrupted for caller-supplied hooks.
+	if errors.Is(rs[1].Err, sim.ErrInterrupted) {
+		t.Fatalf("timeout error %v unwraps to sim.ErrInterrupted", rs[1].Err)
 	}
 	for _, i := range []int{0, 2} {
 		if rs[i].Err != nil {
@@ -183,8 +188,11 @@ func TestCancelInterruptsRunningJob(t *testing.T) {
 	if !errors.As(rs[0].Err, &je) || je.Kind != runner.KindCanceled {
 		t.Fatalf("stuck job error = %v, want KindCanceled", rs[0].Err)
 	}
-	if !errors.Is(rs[0].Err, runner.ErrCanceled) || !errors.Is(rs[0].Err, sim.ErrInterrupted) {
-		t.Fatalf("cancel error %v does not unwrap to ErrCanceled and sim.ErrInterrupted", rs[0].Err)
+	if !errors.Is(rs[0].Err, runner.ErrCanceled) || !errors.Is(rs[0].Err, context.Canceled) {
+		t.Fatalf("cancel error %v does not unwrap to ErrCanceled and context.Canceled", rs[0].Err)
+	}
+	if errors.Is(rs[0].Err, sim.ErrInterrupted) {
+		t.Fatalf("cancel error %v unwraps to sim.ErrInterrupted", rs[0].Err)
 	}
 	if stats.Failed != 1 {
 		t.Fatalf("stats.Failed = %d, want 1", stats.Failed)

@@ -12,6 +12,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"ldcflood/internal/fault"
 	"ldcflood/internal/rngutil"
 	"ldcflood/internal/schedule"
 	"ldcflood/internal/topology"
@@ -164,6 +165,41 @@ func TestCompactAdaptFallsBack(t *testing.T) {
 	}
 	if !reflect.DeepEqual(slow, fast) {
 		t.Errorf("Adapt fallback diverged:\nslow %+v\nfast %+v", slow, fast)
+	}
+}
+
+// TestCompactFaultGate pins which fault schedules keep the fast path: a
+// static schedule (pure per-link PRR scaling) does, any dynamic one (churn,
+// jams, moving chains) silently selects the reference path. End-to-end
+// equivalence of the fallback lives in internal/flood/fault_equiv_test.go.
+func TestCompactFaultGate(t *testing.T) {
+	g := topology.Line(2, 1)
+	scheds := []*schedule.Schedule{
+		schedule.NewSingleSlot(2, 0),
+		schedule.NewSingleSlot(2, 1),
+	}
+	mk := func(s *fault.Schedule) *engine {
+		e := &engine{cfg: Config{CompactTime: true, Graph: g}, scheds: scheds}
+		if s != nil {
+			e.inj = s.Compile(g, rngutil.New(1))
+		}
+		return e
+	}
+	if mk(nil).planCompact() == nil {
+		t.Error("no faults: fast path refused")
+	}
+	static := &fault.Schedule{Links: []fault.LinkRule{{BadScale: 0.5, StartBad: 1}}}
+	if mk(static).planCompact() == nil {
+		t.Error("static schedule: fast path refused")
+	}
+	for name, dyn := range map[string]*fault.Schedule{
+		"crash": {Crashes: []fault.Crash{{Node: 1, At: 3, RebootAt: -1}}},
+		"jam":   {Jams: []fault.Jam{{From: 0, Until: 4, Nodes: []int{1}}}},
+		"chain": {Links: []fault.LinkRule{{PGB: 0.1, PBG: 0.1, BadScale: 0.5}}},
+	} {
+		if mk(dyn).planCompact() != nil {
+			t.Errorf("%s schedule: fast path taken despite dynamic faults", name)
+		}
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"math"
 	"slices"
 
+	"ldcflood/internal/fault"
 	"ldcflood/internal/rngutil"
 	"ldcflood/internal/schedule"
 )
@@ -55,6 +56,15 @@ type engine struct {
 	// hot loop O(1) link checks instead of adjacency scans; nil when n
 	// exceeds maxDensePRRNodes, falling back to Graph lookups.
 	linkPRR []float64
+
+	// Fault injection (nil/empty when Config.Faults is unset, in which
+	// case every hook below is a single nil or length check in the hot
+	// loop). events is the compiled churn timeline, consumed in slot order
+	// through eventCursor; crashed marks nodes that are currently down.
+	inj         *fault.Injector
+	events      []fault.Event
+	eventCursor int
+	crashed     []bool
 
 	// Per-slot scratch, reused across slots. rxIntents[r] collects the
 	// surviving intents targeting receiver r (replacing the former
@@ -157,6 +167,14 @@ func Run(cfg Config) (*Result, error) {
 		rxIntents:  make([][]Intent, n),
 		targeted:   make([]bool, n),
 		recvNow:    make([]bool, n),
+		crashed:    make([]bool, n),
+	}
+	if cfg.Faults != nil {
+		// The fault stream is derived from (not drawn from) the root, so
+		// attaching a schedule leaves the loss/sync/protocol streams — and
+		// therefore any unfaulted behavior — untouched.
+		e.inj = cfg.Faults.Compile(cfg.Graph, root.SubName("fault"))
+		e.events = e.inj.Events()
 	}
 	if n <= maxDensePRRNodes {
 		m := make([]float64, n*n)
@@ -211,6 +229,34 @@ func (e *engine) prr(u, v int) float64 {
 	return e.cfg.Graph.PRR(u, v)
 }
 
+// effPRR returns the PRR of link (u, v) at the current slot, after any
+// fault-schedule degradation. Without a schedule it is exactly prr.
+func (e *engine) effPRR(u, v int) float64 {
+	p := e.prr(u, v)
+	if e.inj != nil && p > 0 {
+		p *= e.inj.LinkScale(e.w.now, u, v)
+	}
+	return p
+}
+
+// applyFaults applies every compiled churn event due at or before slot t:
+// a crash drops the node's buffered packets and forces it dormant until
+// its reboot event (if any) brings it back.
+func (e *engine) applyFaults(t int64) {
+	for e.eventCursor < len(e.events) && e.events[e.eventCursor].At <= t {
+		ev := e.events[e.eventCursor]
+		e.eventCursor++
+		if ev.Up {
+			e.crashed[ev.Node] = false
+			e.res.Reboots++
+		} else {
+			e.crashed[ev.Node] = true
+			e.res.Crashes++
+			e.res.CrashDropped += e.w.dropAll(ev.Node)
+		}
+	}
+}
+
 // hasLink reports whether u and v are linked.
 func (e *engine) hasLink(u, v int) bool {
 	if e.linkPRR != nil {
@@ -224,6 +270,13 @@ func (e *engine) hasLink(u, v int) bool {
 // slot-by-slot path.
 func (e *engine) planCompact() *compactPlan {
 	if !e.cfg.CompactTime || e.cfg.Adapt != nil {
+		return nil
+	}
+	// Dynamic fault schedules (churn, jams, moving link chains) mutate the
+	// world mid-run in ways the hyperperiod plan cannot see; fall back to
+	// the reference path. Static schedules are a pure per-link PRR scaling
+	// and keep the fast path.
+	if e.inj != nil && !e.inj.Static() {
 		return nil
 	}
 	return newCompactPlan(e.cfg.Graph, e.scheds)
@@ -259,6 +312,7 @@ func (e *engine) runSlots() error {
 			return e.interruptErr(t)
 		}
 		w.now = t
+		e.applyFaults(t)
 		e.inject(t)
 		// Dynamic duty-cycle control (DutyCon-style, reference [22]).
 		if cfg.Adapt != nil && t > 0 && t%cfg.AdaptEvery == 0 {
@@ -269,10 +323,10 @@ func (e *engine) runSlots() error {
 				}
 			}
 		}
-		// Awake set.
+		// Awake set. Crashed nodes stay dormant regardless of schedule.
 		w.awakeList = w.awakeList[:0]
 		for i := 0; i < e.n; i++ {
-			a := e.scheds[i].IsActive(t)
+			a := e.scheds[i].IsActive(t) && !e.crashed[i]
 			w.awake[i] = a
 			if a {
 				w.awakeList = append(w.awakeList, i)
@@ -403,6 +457,15 @@ func (e *engine) resolveSlot(t int64) error {
 		}
 		e.targeted[r] = true
 		switch {
+		case e.inj != nil && e.inj.Jammed(t, r):
+			// Receiver-side jamming: every reception at a jammed node fails
+			// deterministically, without consuming a loss-RNG draw.
+			res.JamFailures += len(txs)
+			if cfg.Observer != nil {
+				for _, tx := range txs {
+					cfg.Observer.OnTransmit(t, tx.From, r, tx.Packet, TxJammed)
+				}
+			}
 		case w.transmitting[r]:
 			// Semi-duplex: a transmitting node cannot receive.
 			res.BusyFailures += len(txs)
@@ -418,11 +481,11 @@ func (e *engine) resolveSlot(t int64) error {
 			if cfg.CaptureProb > 0 && e.lossRNG.Bool(cfg.CaptureProb) {
 				best := txs[0]
 				for _, tx := range txs[1:] {
-					if e.prr(tx.From, r) > e.prr(best.From, r) {
+					if e.effPRR(tx.From, r) > e.effPRR(best.From, r) {
 						best = tx
 					}
 				}
-				if e.lossRNG.Bool(e.prr(best.From, r)) {
+				if e.lossRNG.Bool(e.effPRR(best.From, r)) {
 					captured = true
 					res.Captures++
 					e.deliverNow(best.Packet, r, t)
@@ -459,7 +522,7 @@ func (e *engine) resolveSlot(t int64) error {
 					}
 					continue
 				}
-				if e.lossRNG.Bool(e.prr(tx.From, tx.To)) {
+				if e.lossRNG.Bool(e.effPRR(tx.From, tx.To)) {
 					got = true
 					e.deliverNow(tx.Packet, r, t)
 					e.successes = append(e.successes, success{tx.From, r, tx.Packet})
@@ -487,7 +550,10 @@ func (e *engine) resolveSlot(t int64) error {
 				if o == s.to || w.transmitting[o] || e.targeted[o] || e.recvNow[o] {
 					continue
 				}
-				prr := e.prr(s.from, o)
+				if e.inj != nil && e.inj.Jammed(t, o) {
+					continue // jammed nodes cannot overhear
+				}
+				prr := e.effPRR(s.from, o)
 				if prr <= 0 || w.Has(s.packet, o) {
 					continue
 				}

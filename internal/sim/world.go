@@ -11,6 +11,7 @@ import (
 	"math"
 	"math/bits"
 
+	"ldcflood/internal/fault"
 	"ldcflood/internal/rngutil"
 	"ldcflood/internal/schedule"
 	"ldcflood/internal/topology"
@@ -142,6 +143,28 @@ func (w *World) HoldersOf(receiver int) []topology.Link {
 	return out
 }
 
+// dropAll clears node's entire packet buffer — the engine applies it when
+// a fault-schedule crash takes effect. Possession bits, reception times and
+// the per-packet holder counts are rolled back; latched Result fields
+// (CoverTime, Delay) are deliberately untouched, so coverage remains
+// monotone per packet. It returns the number of packet copies dropped.
+func (w *World) dropAll(node int) int {
+	dropped := 0
+	words := w.has[node*w.pwords : (node+1)*w.pwords]
+	for i, word := range words {
+		for word != 0 {
+			p := i<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			w.count[p]--
+			w.recvTime[node*w.M+p] = -1
+			dropped++
+		}
+		words[i] = 0
+	}
+	w.heldCount[node] = 0
+	return dropped
+}
+
 func (w *World) deliver(p, node int, t int64) bool {
 	if w.Has(p, node) {
 		return false
@@ -198,6 +221,9 @@ const (
 	// TxSync: the sender mis-estimated the receiver's wake slot (local
 	// synchronization error) and transmitted into silence.
 	TxSync
+	// TxJammed: the receiver sat inside an active jamming region
+	// (fault-schedule regional outage) and could not decode anything.
+	TxJammed
 )
 
 // String implements fmt.Stringer.
@@ -215,6 +241,8 @@ func (o TxOutcome) String() string {
 		return "redundant"
 	case TxSync:
 		return "sync-miss"
+	case TxJammed:
+		return "jammed"
 	default:
 		return fmt.Sprintf("outcome(%d)", int(o))
 	}
@@ -322,6 +350,16 @@ type Config struct {
 	// AdaptEvery is the adaptation epoch in slots; required > 0 when Adapt
 	// is set.
 	AdaptEvery int64
+	// Faults, when non-nil, is a deterministic fault-injection schedule
+	// (package fault): Gilbert–Elliott bursty link degradation, node
+	// crash/reboot churn, and transient jamming outages, all compiled
+	// against the run seed's dedicated "fault" RNG stream so attaching a
+	// schedule never perturbs the loss/sync/protocol streams — an empty
+	// schedule reproduces the unfaulted run bit-for-bit. Dynamic schedules
+	// (churn, jams, moving chains) force the slot-by-slot reference path;
+	// static link degradation (the paper's k-class loss) keeps the
+	// compact-time fast path. See docs/FAULTS.md.
+	Faults *fault.Schedule
 	// Interrupt, when non-nil, is polled once at the top of every slot.
 	// Returning true aborts the run immediately with an error wrapping
 	// ErrInterrupted. The hook runs on the engine's hot path and must be
@@ -391,6 +429,9 @@ func (c *Config) validate() error {
 	if c.Adapt != nil && c.AdaptEvery <= 0 {
 		return fmt.Errorf("sim: Adapt requires AdaptEvery > 0")
 	}
+	if err := c.Faults.Validate(c.Graph); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -418,7 +459,16 @@ type Result struct {
 	CollisionFailures int
 	BusyFailures      int
 	SyncFailures      int
-	Overheard         int
+	// JamFailures counts transmissions that targeted a receiver inside an
+	// active fault-schedule jamming region.
+	JamFailures int
+	Overheard   int
+	// Crashes / Reboots count applied fault-schedule churn events;
+	// CrashDropped totals the packet copies crashing nodes lost (each must
+	// be re-disseminated for the flood to complete).
+	Crashes      int
+	Reboots      int
+	CrashDropped int
 	// Captures counts collisions salvaged by the capture effect.
 	Captures  int
 	TxPerNode []int
@@ -454,9 +504,10 @@ func (r *Result) NodeDelays(p int) []int64 {
 
 // Failures returns the total transmission failures (the Fig. 11 metric):
 // link losses plus collisions plus transmissions wasted on a busy
-// (transmitting) receiver plus synchronization misses.
+// (transmitting) receiver plus synchronization misses plus receptions
+// destroyed by jamming.
 func (r *Result) Failures() int {
-	return r.LossFailures + r.CollisionFailures + r.BusyFailures + r.SyncFailures
+	return r.LossFailures + r.CollisionFailures + r.BusyFailures + r.SyncFailures + r.JamFailures
 }
 
 // MeanDelay returns the average per-packet flooding delay in slots over
