@@ -42,10 +42,17 @@ func (c *linkChain) scaleAt(t int64) float64 {
 	for c.nextFlip <= t {
 		at := c.nextFlip
 		c.bad = !c.bad
+		p := c.pgb
 		if c.bad {
-			c.nextFlip = at + c.sojourn(c.pbg)
+			p = c.pbg
+		}
+		// neverFlips is an absolute slot, not a sojourn length: adding it to
+		// `at` would overflow int64 and make a one-sided chain (exit
+		// probability 0 in the new state) oscillate instead of absorbing.
+		if s := c.sojourn(p); s == neverFlips {
+			c.nextFlip = neverFlips
 		} else {
-			c.nextFlip = at + c.sojourn(c.pgb)
+			c.nextFlip = at + s
 		}
 	}
 	if c.bad {

@@ -115,7 +115,8 @@ type Crash struct {
 	// At is the slot at which the crash takes effect.
 	At int64 `json:"at"`
 	// RebootAt is the slot at which the node rejoins, or -1 (any negative
-	// value) for a permanent failure.
+	// value) for a permanent failure — the JSON default when reboot_at is
+	// omitted.
 	RebootAt int64 `json:"reboot_at"`
 }
 

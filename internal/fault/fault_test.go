@@ -121,6 +121,40 @@ func TestCompileStaticRule(t *testing.T) {
 	}
 }
 
+// TestOneSidedChainAbsorbs covers link rules where exactly one transition
+// probability is zero: the chain must absorb into the zero-exit state
+// after its first flip and stay there forever, even at far horizons
+// (regression test for an int64 overflow that made such chains oscillate).
+func TestOneSidedChainAbsorbs(t *testing.T) {
+	g := line(3, 0.6)
+	const far = int64(1) << 40
+	// PGB > 0, PBG = 0: the bad state is absorbing. The chain starts good,
+	// flips bad within a few slots (PGB = 0.5), and must stay bad.
+	down := &Schedule{Links: []LinkRule{{PGB: 0.5, PBG: 0, BadScale: 0.25}}}
+	if err := down.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	inj := down.Compile(g, rngutil.New(3))
+	if got := inj.LinkScale(100, 0, 1); got != 0.25 {
+		t.Errorf("permanently-degrading chain at slot 100: scale %v, want 0.25", got)
+	}
+	if got := inj.LinkScale(far, 0, 1); got != 0.25 {
+		t.Errorf("permanently-degrading chain at far slot: scale %v, want 0.25", got)
+	}
+	// Mirror: PBG > 0, PGB = 0, starting bad — the good state is absorbing.
+	up := &Schedule{Links: []LinkRule{{PGB: 0, PBG: 0.5, BadScale: 0.25, StartBad: 1}}}
+	if err := up.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	inj = up.Compile(g, rngutil.New(3))
+	if got := inj.LinkScale(100, 0, 1); got != 1 {
+		t.Errorf("permanently-recovering chain at slot 100: scale %v, want 1", got)
+	}
+	if got := inj.LinkScale(far, 0, 1); got != 1 {
+		t.Errorf("permanently-recovering chain at far slot: scale %v, want 1", got)
+	}
+}
+
 func TestCompileSelectorsAndPrecedence(t *testing.T) {
 	g := topology.New(4)
 	g.AddLink(0, 1, 0.9) // governed only by the pair rule
@@ -272,9 +306,30 @@ func TestParseJSON(t *testing.T) {
 	}
 }
 
+func TestParseCrashRebootAtDefaultsToPermanent(t *testing.T) {
+	s, err := Parse([]byte(`{"crashes": [{"node": 3, "at": 10}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Crashes[0].RebootAt; got != -1 {
+		t.Errorf("omitted reboot_at decoded to %d, want -1 (permanent)", got)
+	}
+	// An explicit value is preserved, including an explicit -1.
+	s, err = Parse([]byte(`{"crashes": [{"node": 3, "at": 10, "reboot_at": -1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Crashes[0].RebootAt; got != -1 {
+		t.Errorf("explicit reboot_at -1 decoded to %d", got)
+	}
+}
+
 func TestParseRejectsUnknownFieldsAndTrailingData(t *testing.T) {
 	if _, err := Parse([]byte(`{"crashs": []}`)); err == nil {
 		t.Error("typoed key accepted")
+	}
+	if _, err := Parse([]byte(`{"crashes": [{"node": 3, "at": 10, "rebootat": 5}]}`)); err == nil {
+		t.Error("typoed key inside a crash entry accepted")
 	}
 	if _, err := Parse([]byte(`{} {"links": []}`)); err == nil {
 		t.Error("trailing document accepted")

@@ -19,6 +19,9 @@ import (
 //	               "x": 150, "y": 80, "radius": 40}]
 //	}
 //
+// In a crash entry, omitting reboot_at (or giving any negative value)
+// means a permanent failure: the node never rejoins.
+//
 // Parse performs only structural decoding; call Schedule.Validate with the
 // target topology for semantic checks (the engine re-validates at run
 // time).
@@ -34,6 +37,33 @@ func Parse(data []byte) (*Schedule, error) {
 		return nil, fmt.Errorf("fault: bad spec: trailing data after JSON document")
 	}
 	return s, nil
+}
+
+// UnmarshalJSON decodes one crash entry. An omitted reboot_at defaults to
+// -1 (permanent failure) — without the default it would decode to slot 0,
+// which Validate always rejects with a misleading "reboots at slot 0"
+// error, leaving no way to express permanence by omission. Unknown fields
+// are rejected, matching Parse's strictness (custom unmarshalers do not
+// inherit the outer decoder's DisallowUnknownFields).
+func (c *Crash) UnmarshalJSON(data []byte) error {
+	raw := struct {
+		Node     int    `json:"node"`
+		At       int64  `json:"at"`
+		RebootAt *int64 `json:"reboot_at"`
+	}{}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&raw); err != nil {
+		return err
+	}
+	c.Node = raw.Node
+	c.At = raw.At
+	if raw.RebootAt != nil {
+		c.RebootAt = *raw.RebootAt
+	} else {
+		c.RebootAt = -1
+	}
+	return nil
 }
 
 // Load reads and parses a JSON fault spec from a file.

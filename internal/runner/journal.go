@@ -62,10 +62,13 @@ type Journal struct {
 // empty file starts a fresh journal.
 func OpenJournal(path, key string, resume bool) (*Journal, error) {
 	j := &Journal{done: make(map[int]*sim.Result)}
+	var keep int64
 	if resume {
-		if err := j.load(path, key); err != nil {
+		n, err := j.load(path, key)
+		if err != nil {
 			return nil, err
 		}
+		keep = n
 	}
 	flags := os.O_CREATE | os.O_WRONLY
 	if resume {
@@ -90,29 +93,46 @@ func OpenJournal(path, key string, resume bool) (*Journal, error) {
 			f.Close()
 			return nil, err
 		}
+	} else {
+		// Drop a torn trailing line (the previous run was killed mid-write)
+		// so the next record starts on a fresh line instead of fusing with
+		// the fragment; O_APPEND writes land at the new end of file.
+		if err := f.Truncate(keep); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("runner: journal: %w", err)
+		}
 	}
 	return j, nil
 }
 
-// load reads an existing journal's header and records into j.done.
-func (j *Journal) load(path, key string) error {
+// load reads an existing journal's header and records into j.done. It
+// returns the byte offset just past the last complete ('\n'-terminated)
+// line, which the caller truncates to before appending.
+func (j *Journal) load(path, key string) (int64, error) {
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) || (err == nil && len(data) == 0) {
-		return nil
+		return 0, nil
 	}
 	if err != nil {
-		return fmt.Errorf("runner: journal: %w", err)
+		return 0, fmt.Errorf("runner: journal: %w", err)
+	}
+	keep := int64(0)
+	for i := len(data) - 1; i >= 0; i-- {
+		if data[i] == '\n' {
+			keep = int64(i + 1)
+			break
+		}
 	}
 	lines := splitLines(data)
 	var hdr journalHeader
 	if err := json.Unmarshal(lines[0], &hdr); err != nil || hdr.Journal != journalMagic {
-		return fmt.Errorf("runner: journal %s: not a journal file", path)
+		return 0, fmt.Errorf("runner: journal %s: not a journal file", path)
 	}
 	if hdr.V != 1 {
-		return fmt.Errorf("runner: journal %s: unsupported version %d", path, hdr.V)
+		return 0, fmt.Errorf("runner: journal %s: unsupported version %d", path, hdr.V)
 	}
 	if hdr.Key != key {
-		return fmt.Errorf("runner: journal %s belongs to a different batch (key %q, want %q)",
+		return 0, fmt.Errorf("runner: journal %s belongs to a different batch (key %q, want %q)",
 			path, hdr.Key, key)
 	}
 	for _, line := range lines[1:] {
@@ -123,7 +143,7 @@ func (j *Journal) load(path, key string) error {
 		}
 		j.done[rec.Index] = rec.Res
 	}
-	return nil
+	return keep, nil
 }
 
 // splitLines splits data on '\n', dropping a trailing empty fragment.

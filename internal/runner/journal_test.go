@@ -250,13 +250,30 @@ func TestJournalResumeTornTrailingLine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer j2.Close()
 	if j2.Completed() != 1 {
 		t.Fatalf("torn journal holds %d jobs, want 1 (torn record dropped)", j2.Completed())
 	}
 	rs, stats := runner.Run(context.Background(), jobs, runner.Options{Journal: j2})
 	if stats.Failed != 0 || rs[1].Res == nil {
 		t.Fatalf("re-run of torn job failed: %v", rs.Err())
+	}
+	if err := j2.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second resume must see every record: the torn fragment has to be
+	// truncated before appending, not fused with the re-run's record.
+	j3, err := runner.OpenJournal(path, key, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if j3.Completed() != len(jobs) {
+		t.Fatalf("second resume holds %d jobs, want %d (record fused with torn fragment)",
+			j3.Completed(), len(jobs))
 	}
 }
 
