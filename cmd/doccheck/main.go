@@ -1,7 +1,10 @@
 // Command doccheck enforces the repository's godoc discipline: every
 // exported package-level symbol (and every package) under the given
-// directories must carry a doc comment. CI runs it over internal/ and
-// cmd/; a missing comment fails the build with a file:line listing.
+// directories must carry a doc comment, and every exported method of an
+// exported interface must carry its own (the interface's doc comment does
+// not excuse its methods — they are the contract). CI runs it over
+// internal/ and cmd/; a missing comment fails the build with a file:line
+// listing.
 //
 // The check is intentionally stdlib-only (go/parser + go/ast — no
 // external linters): it verifies presence and placement of doc comments,
@@ -95,7 +98,9 @@ func checkTree(root string) ([]string, error) {
 
 // checkFile reports exported package-level declarations without a doc
 // comment. For grouped const/var/type declarations a comment on the group
-// covers every spec; otherwise each exported spec needs its own.
+// covers every spec; otherwise each exported spec needs its own. Methods
+// of an exported interface are part of its contract, so each exported
+// method must carry its own comment — the type's doc does not cover them.
 func checkFile(fset *token.FileSet, file *ast.File) []string {
 	var problems []string
 	report := func(pos token.Pos, kind, name string) {
@@ -118,17 +123,19 @@ func checkFile(fset *token.FileSet, file *ast.File) []string {
 			}
 			report(d.Pos(), "function", name)
 		case *ast.GenDecl:
-			if d.Doc != nil {
-				continue
-			}
 			for _, spec := range d.Specs {
 				switch s := spec.(type) {
 				case *ast.TypeSpec:
-					if s.Name.IsExported() && s.Doc == nil && s.Comment == nil {
+					if d.Doc == nil && s.Name.IsExported() && s.Doc == nil && s.Comment == nil {
 						report(s.Pos(), "type", s.Name.Name)
 					}
+					if s.Name.IsExported() {
+						if it, ok := s.Type.(*ast.InterfaceType); ok {
+							checkInterface(s.Name.Name, it, report)
+						}
+					}
 				case *ast.ValueSpec:
-					if s.Doc != nil || s.Comment != nil {
+					if d.Doc != nil || s.Doc != nil || s.Comment != nil {
 						continue
 					}
 					for _, n := range s.Names {
@@ -141,6 +148,19 @@ func checkFile(fset *token.FileSet, file *ast.File) []string {
 		}
 	}
 	return problems
+}
+
+// checkInterface reports exported methods of an exported interface that
+// lack their own doc comment. Embedded interfaces (fields without names)
+// are documented at their own declaration and are skipped.
+func checkInterface(typeName string, it *ast.InterfaceType, report func(token.Pos, string, string)) {
+	for _, m := range it.Methods.List {
+		for _, n := range m.Names {
+			if n.IsExported() && m.Doc == nil && m.Comment == nil {
+				report(n.Pos(), "interface method", typeName+"."+n.Name)
+			}
+		}
+	}
 }
 
 // receiverType extracts the receiver's type name and whether it is

@@ -38,6 +38,7 @@ import (
 	"ldcflood/internal/runner"
 	"ldcflood/internal/schedule"
 	"ldcflood/internal/sim"
+	"ldcflood/internal/telemetry"
 	"ldcflood/internal/topology"
 )
 
@@ -59,6 +60,12 @@ type benchCase struct {
 	// sim.Results; engbench fails before writing output if any case is
 	// false, so a committed file always says true.
 	Identical bool `json:"identical"`
+	// TelemetryNS is the compact path re-timed with a telemetry.Registry
+	// attached, and TelemetryOverhead its fractional cost versus CompactNS
+	// (may dip below zero on a noisy machine). Baselines written before the
+	// telemetry layer omit both; guard then skips the telemetry check.
+	TelemetryNS       int64   `json:"telemetry_ns,omitempty"`
+	TelemetryOverhead float64 `json:"telemetry_overhead,omitempty"`
 }
 
 // baseline is the BENCH_engine.json document.
@@ -142,6 +149,14 @@ func guard(doc *baseline, path string, tol float64) error {
 			return fmt.Errorf("%s/%s: compact path %.2fms regressed past baseline %.2fms +%.0f%%",
 				c.Protocol, c.Duty, float64(c.CompactNS)/1e6, float64(b.CompactNS)/1e6, tol*100)
 		}
+		// Baselines predating the telemetry layer carry no TelemetryNS;
+		// skip rather than fail so old baselines keep guarding.
+		if b.TelemetryNS > 0 {
+			if lim := float64(b.TelemetryNS) * (1 + tol); float64(c.TelemetryNS) > lim {
+				return fmt.Errorf("%s/%s: telemetry-attached path %.2fms regressed past baseline %.2fms +%.0f%%",
+					c.Protocol, c.Duty, float64(c.TelemetryNS)/1e6, float64(b.TelemetryNS)/1e6, tol*100)
+			}
+		}
 	}
 	return nil
 }
@@ -168,23 +183,34 @@ func measure(reps int) (*baseline, error) {
 		scheds := schedule.AssignUniform(g.N(), duty.period, rngutil.New(1).SubName("schedule"))
 		for _, name := range []string{"opt", "dbao", "of"} {
 			c := benchCase{Protocol: name, Duty: duty.name, Period: duty.period}
-			slowNS, slowRes, err := timeCase(g, scheds, name, false, reps)
+			slowNS, slowRes, err := timeCase(g, scheds, name, false, reps, nil)
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s slow: %w", name, duty.name, err)
 			}
-			compactNS, compactRes, err := timeCase(g, scheds, name, true, reps)
+			compactNS, compactRes, err := timeCase(g, scheds, name, true, reps, nil)
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s compact: %w", name, duty.name, err)
 			}
-			c.SlowNS, c.CompactNS = slowNS, compactNS
+			// The telemetry-on/off comparison: the same compact cell with a
+			// live registry attached. Its result must stay bit-identical —
+			// telemetry observes the engine, never steers it.
+			telNS, telRes, err := timeCase(g, scheds, name, true, reps, telemetry.New())
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s telemetry: %w", name, duty.name, err)
+			}
+			c.SlowNS, c.CompactNS, c.TelemetryNS = slowNS, compactNS, telNS
 			c.Speedup = float64(slowNS) / float64(compactNS)
+			c.TelemetryOverhead = float64(telNS)/float64(compactNS) - 1
 			c.Slots = slowRes.TotalSlots
-			c.Identical = reflect.DeepEqual(slowRes, compactRes)
-			if !c.Identical {
+			c.Identical = reflect.DeepEqual(slowRes, compactRes) && reflect.DeepEqual(compactRes, telRes)
+			if !reflect.DeepEqual(slowRes, compactRes) {
 				return nil, fmt.Errorf("%s/%s: compact path diverged from the reference path", name, duty.name)
 			}
-			fmt.Printf("%-5s duty=%s  slow=%8.2fms  compact=%8.2fms  speedup=%.2fx\n",
-				name, duty.name, float64(slowNS)/1e6, float64(compactNS)/1e6, c.Speedup)
+			if !reflect.DeepEqual(compactRes, telRes) {
+				return nil, fmt.Errorf("%s/%s: attaching telemetry changed the result", name, duty.name)
+			}
+			fmt.Printf("%-5s duty=%s  slow=%8.2fms  compact=%8.2fms  speedup=%.2fx  telemetry=%+.1f%%\n",
+				name, duty.name, float64(slowNS)/1e6, float64(compactNS)/1e6, c.Speedup, c.TelemetryOverhead*100)
 			doc.Cases = append(doc.Cases, c)
 		}
 	}
@@ -193,8 +219,9 @@ func measure(reps int) (*baseline, error) {
 
 // timeCase runs one (protocol, duty, path) cell reps times through the
 // single-worker batch runner and returns the minimum wall-clock per run
-// plus the (deterministic, rep-independent) simulation result.
-func timeCase(g *topology.Graph, scheds []*schedule.Schedule, name string, compact bool, reps int) (int64, *sim.Result, error) {
+// plus the (deterministic, rep-independent) simulation result. A non-nil
+// reg attaches live telemetry to every run, measuring its overhead.
+func timeCase(g *topology.Graph, scheds []*schedule.Schedule, name string, compact bool, reps int, reg *telemetry.Registry) (int64, *sim.Result, error) {
 	p, err := flood.New(name)
 	if err != nil {
 		return 0, nil, err
@@ -207,6 +234,7 @@ func timeCase(g *topology.Graph, scheds []*schedule.Schedule, name string, compa
 		Coverage:    0.99,
 		Seed:        1,
 		CompactTime: compact,
+		Telemetry:   reg,
 	}
 	// Warm-up run: lets the protocol's Reset memoization (carrier-sense
 	// matrix, energy-optimal tree) build once outside the timed region,

@@ -12,7 +12,7 @@
 // (M=20, four duty points) while preserving every qualitative shape. The
 // simulation sweeps execute on the internal/runner batch executor:
 // -workers bounds the pool (results never depend on it) and -progress
-// streams completion counts to stderr.
+// prints a throttled jobs/ETA/throughput line to stderr.
 package main
 
 import (
@@ -29,7 +29,7 @@ import (
 
 func main() {
 	var (
-		figFlag  = flag.String("fig", "all", "comma-separated figure ids (fig3, table1, fig5-fig11, halfduplex, crosslayer, granularity, nodecdf, syncerr, hetero), 'all' (paper figures) or 'extensions'")
+		figFlag  = flag.String("fig", "all", "comma-separated figure ids (fig3, table1, fig5-fig11, gw, halfduplex, crosslayer, granularity, nodecdf, syncerr, hetero, backlog, robustness, adaptive, faults), 'all' (paper figures) or 'extensions'")
 		quick    = flag.Bool("quick", false, "cut-down simulation effort (M=20, 4 duty points)")
 		m        = flag.Int("m", 0, "packets per flood (default: 100, or 20 with -quick)")
 		runs     = flag.Int("runs", 1, "independent runs to average per configuration")
@@ -53,14 +53,7 @@ func main() {
 	opts.Seed = *seed
 	opts.Workers = *workers
 	if *progress {
-		opts.Progress = func(p runner.Progress) {
-			fmt.Fprintf(os.Stderr, "\rfigures: %d/%d sims (%d failed), %.2fM slots, %s ",
-				p.Done, p.Total, p.Failed, float64(p.Slots)/1e6,
-				p.Elapsed.Round(100*time.Millisecond))
-			if p.Done == p.Total {
-				fmt.Fprintln(os.Stderr)
-			}
-		}
+		opts.Progress = runner.ProgressPrinter(os.Stderr, time.Second)
 	}
 
 	if err := run(*figFlag, opts, *outDir); err != nil {

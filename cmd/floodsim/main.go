@@ -7,14 +7,21 @@
 //	floodsim [-protocol opt|dbao|of|naive] [-duty 0.05] [-m 100]
 //	         [-coverage 0.99] [-seed 1] [-topo greenorbs|<file>]
 //	         [-toposeed 1] [-inject 1] [-v]
+//	         [-debug-addr :8080] [-stats]
 //
 // The default topology is the synthetic 298-node GreenOrbs trace; -topo
 // accepts a trace file in the topogen text format instead.
+//
+// -debug-addr serves the live telemetry snapshot (expvar-compatible
+// /debug/vars) and net/http/pprof on the given address while the run
+// executes; -stats prints the final counter table to stderr. Neither
+// affects the simulation. See docs/OBSERVABILITY.md.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"ldcflood/internal/flood"
@@ -22,50 +29,72 @@ import (
 	"ldcflood/internal/rngutil"
 	"ldcflood/internal/schedule"
 	"ldcflood/internal/sim"
+	"ldcflood/internal/telemetry"
 	"ldcflood/internal/topology"
 	"ldcflood/internal/tracelog"
 )
 
-func main() {
-	var (
-		protoName = flag.String("protocol", "opt", "flooding protocol: opt, dbao, of, naive")
-		duty      = flag.Float64("duty", 0.05, "duty cycle in (0,1]")
-		m         = flag.Int("m", 100, "number of packets to flood")
-		coverage  = flag.Float64("coverage", 0.99, "delivery-ratio target for the delay metric")
-		seed      = flag.Uint64("seed", 1, "simulation seed")
-		topoName  = flag.String("topo", "greenorbs", "topology: 'greenorbs', 'testbed', or a trace file path")
-		topoSeed  = flag.Uint64("toposeed", 1, "seed for the synthetic topology")
-		inject    = flag.Int("inject", 1, "slots between packet injections")
-		maxSlots  = flag.Int64("maxslots", 0, "slot horizon (0 = automatic)")
-		verbose   = flag.Bool("v", false, "print per-packet delays")
-		traceFile = flag.String("trace", "", "write the full event trace to this file")
-	)
-	flag.Parse()
+// options collects the flag values one run consumes.
+type options struct {
+	protoName string
+	topoName  string
+	duty      float64
+	m         int
+	coverage  float64
+	seed      uint64
+	topoSeed  uint64
+	inject    int
+	maxSlots  int64
+	verbose   bool
+	traceFile string
+	debugAddr string    // "" disables the /debug/vars + pprof server
+	statsOut  io.Writer // nil disables the final telemetry table
+}
 
-	if err := run(*protoName, *topoName, *duty, *m, *coverage, *seed, *topoSeed, *inject, *maxSlots, *verbose, *traceFile); err != nil {
+func main() {
+	var o options
+	flag.StringVar(&o.protoName, "protocol", "opt", "flooding protocol: opt, dbao, of, naive")
+	flag.Float64Var(&o.duty, "duty", 0.05, "duty cycle in (0,1]")
+	flag.IntVar(&o.m, "m", 100, "number of packets to flood")
+	flag.Float64Var(&o.coverage, "coverage", 0.99, "delivery-ratio target for the delay metric")
+	flag.Uint64Var(&o.seed, "seed", 1, "simulation seed")
+	flag.StringVar(&o.topoName, "topo", "greenorbs", "topology: 'greenorbs', 'testbed', or a trace file path")
+	flag.Uint64Var(&o.topoSeed, "toposeed", 1, "seed for the synthetic topology")
+	flag.IntVar(&o.inject, "inject", 1, "slots between packet injections")
+	flag.Int64Var(&o.maxSlots, "maxslots", 0, "slot horizon (0 = automatic)")
+	flag.BoolVar(&o.verbose, "v", false, "print per-packet delays")
+	flag.StringVar(&o.traceFile, "trace", "", "write the full event trace to this file")
+	flag.StringVar(&o.debugAddr, "debug-addr", "", "serve live telemetry (/debug/vars) and pprof on this address during the run (e.g. :8080, :0 for an ephemeral port)")
+	stats := flag.Bool("stats", false, "print the final telemetry counter table to stderr")
+	flag.Parse()
+	if *stats {
+		o.statsOut = os.Stderr
+	}
+
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "floodsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(protoName, topoName string, duty float64, m int, coverage float64, seed, topoSeed uint64, inject int, maxSlots int64, verbose bool, traceFile string) error {
-	g, err := loadTopology(topoName, topoSeed)
+func run(o options) error {
+	g, err := loadTopology(o.topoName, o.topoSeed)
 	if err != nil {
 		return err
 	}
-	p, err := flood.New(protoName)
+	p, err := flood.New(o.protoName)
 	if err != nil {
 		return err
 	}
-	if duty <= 0 || duty > 1 {
-		return fmt.Errorf("duty %v outside (0,1]", duty)
+	if o.duty <= 0 || o.duty > 1 {
+		return fmt.Errorf("duty %v outside (0,1]", o.duty)
 	}
-	period := schedule.PeriodForDuty(duty)
-	scheds := schedule.AssignUniform(g.N(), period, rngutil.New(seed).SubName("schedule"))
+	period := schedule.PeriodForDuty(o.duty)
+	scheds := schedule.AssignUniform(g.N(), period, rngutil.New(o.seed).SubName("schedule"))
 	var observer sim.Observer
 	var logger *tracelog.Logger
-	if traceFile != "" {
-		f, err := os.Create(traceFile)
+	if o.traceFile != "" {
+		f, err := os.Create(o.traceFile)
 		if err != nil {
 			return err
 		}
@@ -73,16 +102,36 @@ func run(protoName, topoName string, duty float64, m int, coverage float64, seed
 		logger = tracelog.NewLogger(f)
 		observer = logger
 	}
+	var reg *telemetry.Registry
+	if o.debugAddr != "" || o.statsOut != nil {
+		reg = telemetry.New()
+		if o.debugAddr != "" {
+			srv, err := telemetry.Serve(o.debugAddr, reg)
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "floodsim: telemetry: serving debug endpoints on %s\n", srv.URL())
+		}
+		if o.statsOut != nil {
+			defer func() {
+				if err := reg.Snapshot().WriteTable(o.statsOut); err != nil {
+					fmt.Fprintln(os.Stderr, "floodsim: warning:", err)
+				}
+			}()
+		}
+	}
 	res, err := sim.Run(sim.Config{
 		Graph:          g,
 		Schedules:      scheds,
 		Protocol:       p,
-		M:              m,
-		InjectInterval: inject,
-		Coverage:       coverage,
-		Seed:           seed,
-		MaxSlots:       maxSlots,
+		M:              o.m,
+		InjectInterval: o.inject,
+		Coverage:       o.coverage,
+		Seed:           o.seed,
+		MaxSlots:       o.maxSlots,
 		Observer:       observer,
+		Telemetry:      reg,
 	})
 	if err != nil {
 		return err
@@ -96,7 +145,7 @@ func run(protoName, topoName string, duty float64, m int, coverage float64, seed
 	fmt.Printf("topology:       %s (%d nodes, %d links, mean PRR %.2f)\n",
 		g.Name, g.N(), g.NumLinks(), g.MeanLinkPRR())
 	fmt.Printf("protocol:       %s\n", res.Protocol)
-	fmt.Printf("duty cycle:     %.1f%% (period %d slots)\n", duty*100, period)
+	fmt.Printf("duty cycle:     %.1f%% (period %d slots)\n", o.duty*100, period)
 	fmt.Printf("packets:        %d (coverage target %d/%d nodes)\n", res.M, res.CoverNodes, g.N())
 	fmt.Printf("completed:      %v in %d slots\n", res.Completed, res.TotalSlots)
 	fmt.Printf("mean delay:     %.1f slots\n", res.MeanDelay())
@@ -111,11 +160,11 @@ func run(protoName, topoName string, duty float64, m int, coverage float64, seed
 	if totalSeconds > 0 {
 		txRate = float64(res.Transmissions) / float64(g.N()) / totalSeconds
 	}
-	lifetime, delay, gain := em.NetworkingGain(duty, res.MeanDelay(), txRate)
+	lifetime, delay, gain := em.NetworkingGain(o.duty, res.MeanDelay(), txRate)
 	fmt.Printf("est. lifetime:  %.1f days   flooding delay: %.2f s   gain: %.0f\n",
 		lifetime/86400, delay, gain)
 
-	if verbose {
+	if o.verbose {
 		fmt.Println("\npacket  inject  cover   delay")
 		for p := 0; p < res.M; p++ {
 			fmt.Printf("%6d  %6d  %5d  %6d\n", p, res.InjectTime[p], res.CoverTime[p], res.Delay[p])

@@ -9,11 +9,19 @@
 //	      [-faults spec.json] [-compact]
 //	      [-journal sweep.journal] [-resume] [-retries 0] [-backoff 1s]
 //	      [-out results.csv] [-parallel 0] [-timeout 0] [-progress]
+//	      [-debug-addr :8080] [-stats]
 //
 // The grid executes on the internal/runner batch executor: -parallel
 // bounds the worker pool, a failing cell (panic or -timeout overrun)
 // reports a typed job error naming the cell, and the CSV is byte-identical
 // for every -parallel value.
+//
+// -progress prints a throttled structured line (jobs done/total, failures,
+// slots/sec, ETA) to stderr. -debug-addr serves the live telemetry
+// snapshot (expvar-compatible /debug/vars) and net/http/pprof on the given
+// address for the duration of the sweep; -stats prints the final counter
+// table to stderr. Both observe the simulation without affecting it — the
+// CSV stays byte-identical. See docs/OBSERVABILITY.md.
 //
 // -faults applies a JSON fault schedule (see internal/fault) to every
 // cell; -compact opts into the compact-time fast path, which silently
@@ -49,6 +57,7 @@ import (
 	"ldcflood/internal/schedule"
 	"ldcflood/internal/sim"
 	"ldcflood/internal/stats"
+	"ldcflood/internal/telemetry"
 	"ldcflood/internal/topology"
 )
 
@@ -71,6 +80,8 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "batch-runner workers (0 = GOMAXPROCS); the CSV is identical for every value")
 		timeout   = flag.Duration("timeout", 0, "per-run wall-clock budget (0 = none); an overrunning cell fails with a typed timeout error")
 		progress  = flag.Bool("progress", false, "print live batch progress to stderr")
+		debugAddr = flag.String("debug-addr", "", "serve live telemetry (/debug/vars) and pprof on this address during the sweep (e.g. :8080, :0 for an ephemeral port)")
+		statsFlag = flag.Bool("stats", false, "print the final telemetry counter table to stderr")
 	)
 	flag.Parse()
 
@@ -100,9 +111,13 @@ func main() {
 		backoff:      *backoff,
 		parallel:     *parallel,
 		timeout:      *timeout,
+		debugAddr:    *debugAddr,
 	}
 	if *progress {
 		cfg.progress = os.Stderr
+	}
+	if *statsFlag {
+		cfg.statsOut = os.Stderr
 	}
 	if err := run(w, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
@@ -133,6 +148,11 @@ type sweepConfig struct {
 	parallel     int
 	timeout      time.Duration
 	progress     io.Writer // nil disables progress reporting
+	debugAddr    string    // "" disables the /debug/vars + pprof server
+	statsOut     io.Writer // nil disables the final telemetry table
+	// debugReady, when non-nil, receives the debug server's base URL once
+	// it is listening — tests use it to curl the endpoints mid-sweep.
+	debugReady func(url string)
 }
 
 // journalKey identifies the grid a journal belongs to: every parameter
@@ -220,6 +240,31 @@ func run(w io.Writer, sc sweepConfig) error {
 		Retries:      sc.retries,
 		RetryBackoff: sc.backoff,
 	}
+	if sc.debugAddr != "" || sc.statsOut != nil {
+		reg := telemetry.New()
+		ropts.Telemetry = reg
+		for i := range jobs {
+			jobs[i].Telemetry = reg
+		}
+		if sc.debugAddr != "" {
+			srv, err := telemetry.Serve(sc.debugAddr, reg)
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "sweep: telemetry: serving debug endpoints on %s\n", srv.URL())
+			if sc.debugReady != nil {
+				sc.debugReady(srv.URL())
+			}
+		}
+		if sc.statsOut != nil {
+			defer func() {
+				if err := reg.Snapshot().WriteTable(sc.statsOut); err != nil {
+					fmt.Fprintln(os.Stderr, "sweep: warning:", err)
+				}
+			}()
+		}
+	}
 	if sc.journalPath != "" {
 		j, err := runner.OpenJournal(sc.journalPath, sc.journalKey(faultJSON), sc.resume)
 		if err != nil {
@@ -236,16 +281,9 @@ func run(w io.Writer, sc sweepConfig) error {
 		return fmt.Errorf("-resume needs -journal")
 	}
 	if sc.progress != nil {
-		ropts.Progress = func(p runner.Progress) {
-			fmt.Fprintf(sc.progress, "\rsweep: %d/%d runs (%d failed), %.2fM slots, %s ",
-				p.Done, p.Total, p.Failed, float64(p.Slots)/1e6,
-				p.Elapsed.Round(100*time.Millisecond))
-		}
+		ropts.Progress = runner.ProgressPrinter(sc.progress, time.Second)
 	}
 	rs, _ := runner.Run(context.Background(), jobs, ropts)
-	if sc.progress != nil {
-		fmt.Fprintln(sc.progress)
-	}
 	for i := range rs {
 		if rs[i].Err != nil {
 			c := cells[i]

@@ -3,7 +3,10 @@ package main
 import (
 	"bytes"
 	"encoding/csv"
+	"encoding/json"
 	"errors"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -121,7 +124,7 @@ func TestRunProgressOutput(t *testing.T) {
 	if err := run(&buf, sc); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(prog.String(), "2/2 runs") {
+	if !strings.Contains(prog.String(), "jobs=2/2") {
 		t.Fatalf("progress output %q missing final snapshot", prog.String())
 	}
 }
@@ -292,4 +295,68 @@ func TestRunCompactMatchesReference(t *testing.T) {
 	if slow.String() != fast.String() {
 		t.Fatal("compact-time sweep differs from the reference path")
 	}
+}
+
+// TestRunDebugAddrAndStats runs a sweep with the debug server and stats
+// table enabled, fetching /debug/vars and a pprof endpoint while (or just
+// after) the grid executes — the in-process version of the CI smoke step.
+func TestRunDebugAddrAndStats(t *testing.T) {
+	var buf, statsBuf bytes.Buffer
+	sc := testConfig()
+	sc.seeds = 2
+	sc.debugAddr = ":0"
+	sc.statsOut = &statsBuf
+	var varsBody, pprofStatus string
+	sc.debugReady = func(url string) {
+		varsBody = httpGet(t, url+"/debug/vars")
+		resp, err := http.Get(url + "/debug/pprof/")
+		if err != nil {
+			t.Errorf("pprof index: %v", err)
+			return
+		}
+		resp.Body.Close()
+		pprofStatus = resp.Status
+	}
+	if err := run(&buf, sc); err != nil {
+		t.Fatal(err)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(varsBody), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v\n%s", err, varsBody)
+	}
+	// The fetch happens before the batch registers its counters, so only
+	// the structural expvar keys are guaranteed here; counter content is
+	// asserted on the (post-run) stats table below and in
+	// internal/telemetry's server tests.
+	for _, k := range []string{"cmdline", "memstats"} {
+		if _, ok := vars[k]; !ok {
+			t.Errorf("/debug/vars missing %q", k)
+		}
+	}
+	if !strings.HasPrefix(pprofStatus, "200") {
+		t.Errorf("pprof index status = %q, want 200", pprofStatus)
+	}
+	for _, k := range []string{"runner.jobs.done", "sim.runs.completed", "sim.tx.attempts"} {
+		if !strings.Contains(statsBuf.String(), k) {
+			t.Errorf("stats table missing %q:\n%s", k, statsBuf.String())
+		}
+	}
+}
+
+// httpGet fetches a URL and returns its body, failing the test on error.
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s\n%s", url, resp.Status, body)
+	}
+	return string(body)
 }

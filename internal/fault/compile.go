@@ -22,7 +22,8 @@ type linkChain struct {
 	pgb, pbg float64
 	scale    float64 // PRR multiplier in the bad state
 	bad      bool
-	nextFlip int64 // absolute slot of the next state change
+	nextFlip int64  // absolute slot of the next state change
+	flips    *int64 // the owning Injector's shared flip counter
 }
 
 // sojourn returns the number of slots the chain stays in a state whose
@@ -42,6 +43,7 @@ func (c *linkChain) scaleAt(t int64) float64 {
 	for c.nextFlip <= t {
 		at := c.nextFlip
 		c.bad = !c.bad
+		*c.flips++
 		p := c.pgb
 		if c.bad {
 			p = c.pbg
@@ -79,6 +81,11 @@ type Injector struct {
 	static bool
 	events []Event
 	jams   []compiledJam
+	// flips counts Gilbert–Elliott state transitions taken by every
+	// governed chain over the run — a plain int64 (the injector is
+	// single-run, single-goroutine) that the engine periodically drains
+	// into its telemetry registry as fault.chain_flips.
+	flips int64
 }
 
 // compiledJam is a jam window with its node set resolved to a bitset.
@@ -127,6 +134,7 @@ func (s *Schedule) Compile(g *topology.Graph, rng *rngutil.Stream) *Injector {
 			pbg:   rule.PBG,
 			scale: rule.BadScale,
 			bad:   lr.Bool(rule.StartBad),
+			flips: &inj.flips,
 		}
 		if c.bad {
 			c.nextFlip = c.sojourn(c.pbg)
@@ -213,6 +221,13 @@ func (in *Injector) LinkScale(t int64, u, v int) float64 {
 	}
 	return c.scaleAt(t)
 }
+
+// ChainFlips returns how many Gilbert–Elliott state transitions the
+// injector's link chains have taken so far. Chains advance lazily, so the
+// count covers each chain up to the last slot it was queried at; it is
+// monotone over a run. Purely observational — reading it never advances a
+// chain.
+func (in *Injector) ChainFlips() int64 { return in.flips }
 
 // Jammed reports whether node is inside an active jam region at slot t.
 func (in *Injector) Jammed(t int64, node int) bool {

@@ -18,8 +18,10 @@
 //     budget, or is overtaken by context cancellation becomes a typed
 //     *JobError in its result slot; the rest of the batch completes.
 //   - Observability. Options.Progress streams per-job completion
-//     snapshots (jobs done, failures, slots simulated, elapsed time) that
-//     cmd/sweep and cmd/figures surface.
+//     snapshots (jobs done, failures, slots simulated, elapsed time, ETA,
+//     throughput) that cmd/sweep and cmd/figures surface, and
+//     Options.Telemetry feeds the same figures into a live
+//     telemetry.Registry for the -debug-addr endpoints.
 //
 // See docs/RUNNER.md for the full semantics.
 package runner
@@ -35,6 +37,7 @@ import (
 	"time"
 
 	"ldcflood/internal/sim"
+	"ldcflood/internal/telemetry"
 )
 
 // Options configures a batch run. The zero value is valid: GOMAXPROCS
@@ -76,15 +79,28 @@ type Options struct {
 	// (from a previous, interrupted run of the same batch) are served from
 	// it without simulating. See OpenJournal.
 	Journal *Journal
+	// Telemetry, when non-nil, receives live batch counters and gauges in
+	// the "runner." namespace (see docs/OBSERVABILITY.md for the catalog).
+	// The registry may be shared across concurrent batches — counters
+	// accumulate; gauges reflect the batch that updated them last. The ETA
+	// and throughput gauges are computed from the same state as the
+	// matching Progress fields, so the two surfaces always agree. Telemetry
+	// never affects results.
+	Telemetry *telemetry.Registry
 }
 
-// Progress is a snapshot of batch progress passed to Options.Progress.
+// Progress is a snapshot of batch progress passed to Options.Progress. All
+// fields come from one consistent observation: ETA and SlotsPerSec are
+// derived from Done, Slots, and Elapsed inside the same critical section
+// that produced them (and that feeds the telemetry gauges).
 type Progress struct {
-	Done    int           // jobs finished so far, failures included
-	Failed  int           // jobs finished with a *JobError
-	Total   int           // batch size
-	Slots   int64         // simulated slots completed so far
-	Elapsed time.Duration // wall-clock time since the batch started
+	Done        int           // jobs finished so far, failures included
+	Failed      int           // jobs finished with a *JobError
+	Total       int           // batch size
+	Slots       int64         // simulated slots completed so far
+	Elapsed     time.Duration // wall-clock time since the batch started
+	ETA         time.Duration // projected time to batch completion; 0 until the first job lands and after the last
+	SlotsPerSec float64       // simulated-slot throughput so far
 }
 
 // Stats summarizes a finished batch.
@@ -156,6 +172,10 @@ func Run(ctx context.Context, jobs []sim.Config, opts Options) (Results, Stats) 
 
 	results := make(Results, len(jobs))
 	start := time.Now()
+	var tel *runTel
+	if opts.Telemetry != nil {
+		tel = newRunTel(opts.Telemetry, len(jobs))
+	}
 	var (
 		mu     sync.Mutex
 		done   int
@@ -172,13 +192,33 @@ func Run(ctx context.Context, jobs []sim.Config, opts Options) (Results, Stats) 
 		if err != nil {
 			failed++
 		}
+		var jobSlots int64
 		if res != nil {
-			slots += res.TotalSlots
+			jobSlots = res.TotalSlots
+			slots += jobSlots
+		}
+		if tel == nil && opts.Progress == nil {
+			return
+		}
+		// One observation feeds both surfaces (see Progress): the hook and
+		// the registry can never disagree on jobs done or the ETA.
+		elapsed := time.Since(start)
+		eta, rate := estimate(done, len(jobs), slots, elapsed)
+		if tel != nil {
+			tel.jobsDone.Inc()
+			if err != nil {
+				tel.jobsFailed.Inc()
+			}
+			tel.slots.Add(jobSlots)
+			tel.queueDepth.Set(int64(len(jobs) - done))
+			tel.etaSeconds.Set(int64(eta / time.Second))
+			tel.slotsPerSec.Set(int64(rate))
 		}
 		if opts.Progress != nil {
 			opts.Progress(Progress{
 				Done: done, Failed: failed, Total: len(jobs),
-				Slots: slots, Elapsed: time.Since(start),
+				Slots: slots, Elapsed: elapsed,
+				ETA: eta, SlotsPerSec: rate,
 			})
 		}
 	}
@@ -193,6 +233,9 @@ func Run(ctx context.Context, jobs []sim.Config, opts Options) (Results, Stats) 
 				}
 				if opts.Journal != nil {
 					if res, ok := opts.Journal.Done(i); ok {
+						if tel != nil {
+							tel.jrnHits.Inc()
+						}
 						finish(i, res, nil)
 						continue
 					}
@@ -201,15 +244,28 @@ func Run(ctx context.Context, jobs []sim.Config, opts Options) (Results, Stats) 
 					finish(i, nil, &JobError{Index: i, Kind: KindCanceled, Err: err})
 					continue
 				}
+				jobStart := time.Now()
 				res, err := runJob(ctx, i, jobs[i], opts)
 				for attempt := 0; err != nil && attempt < opts.Retries && retryable(err); attempt++ {
 					if !backoff(ctx, opts.RetryBackoff<<uint(attempt)) {
 						break
 					}
+					if tel != nil {
+						tel.retries.Inc()
+					}
 					res, err = runJob(ctx, i, jobs[i], opts)
+				}
+				if tel != nil {
+					// One observation per job, retries and backoff included:
+					// the timer answers "what does a job cost this batch",
+					// not "how fast is one sim.Run".
+					tel.jobWall.Observe(time.Since(jobStart))
 				}
 				if err == nil && opts.Journal != nil {
 					opts.Journal.record(i, res)
+					if tel != nil {
+						tel.jrnAppends.Inc()
+					}
 				}
 				finish(i, res, err)
 			}

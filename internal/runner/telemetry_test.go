@@ -1,0 +1,175 @@
+package runner_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"ldcflood/internal/runner"
+	"ldcflood/internal/sim"
+	"ldcflood/internal/telemetry"
+)
+
+// TestTelemetryCountersMatchStats: a batch with failures and retries must
+// leave the registry agreeing with the returned Stats and the final
+// Progress snapshot.
+func TestTelemetryCountersMatchStats(t *testing.T) {
+	jobs := make([]sim.Config, 6)
+	for i := range jobs {
+		jobs[i] = quickJob(uint64(300 + i))
+	}
+	jobs[2].Protocol = bomb{} // panics: retryable, fails after retries
+	reg := telemetry.New()
+	var last runner.Progress
+	rs, stats := runner.Run(context.Background(), jobs, runner.Options{
+		Workers:   3,
+		Retries:   2,
+		Telemetry: reg,
+		Progress:  func(p runner.Progress) { last = p },
+	})
+	if rs[2].Err == nil {
+		t.Fatal("bomb job unexpectedly succeeded")
+	}
+	snap := reg.Snapshot()
+	want := map[string]int64{
+		"runner.jobs.total":      int64(len(jobs)),
+		"runner.jobs.done":       int64(len(jobs)),
+		"runner.jobs.failed":     int64(stats.Failed),
+		"runner.jobs.retries":    2,
+		"runner.slots":           stats.Slots,
+		"runner.job_wall.count":  int64(len(jobs)),
+		"runner.journal.appends": 0,
+		"runner.journal.hits":    0,
+		"runner.queue.depth":     0,
+	}
+	for k, v := range want {
+		if snap[k] != v {
+			t.Errorf("%s = %d, want %d", k, snap[k], v)
+		}
+	}
+	if snap["runner.job_wall.total_ns"] <= 0 {
+		t.Errorf("runner.job_wall.total_ns = %d, want > 0", snap["runner.job_wall.total_ns"])
+	}
+	// The final Progress snapshot and the registry come from one
+	// observation: they must agree exactly.
+	if last.Done != len(jobs) || int64(last.Done) != snap["runner.jobs.done"] {
+		t.Errorf("final Progress.Done = %d, registry runner.jobs.done = %d", last.Done, snap["runner.jobs.done"])
+	}
+	if last.Slots != snap["runner.slots"] {
+		t.Errorf("final Progress.Slots = %d, registry runner.slots = %d", last.Slots, snap["runner.slots"])
+	}
+	if last.ETA != 0 {
+		t.Errorf("final Progress.ETA = %v, want 0", last.ETA)
+	}
+	if last.SlotsPerSec <= 0 {
+		t.Errorf("final Progress.SlotsPerSec = %v, want > 0", last.SlotsPerSec)
+	}
+}
+
+// TestTelemetryJournalCounters: appends on the first (interrupted-free)
+// run, hits on the resume.
+func TestTelemetryJournalCounters(t *testing.T) {
+	jobs := make([]sim.Config, 4)
+	for i := range jobs {
+		jobs[i] = quickJob(uint64(500 + i))
+	}
+	path := filepath.Join(t.TempDir(), "batch.journal")
+	open := func(resume bool) *runner.Journal {
+		j, err := runner.OpenJournal(path, "tel-journal", resume)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+	reg := telemetry.New()
+	j := open(false)
+	if rs, _ := runner.Run(context.Background(), jobs, runner.Options{Journal: j, Telemetry: reg}); rs.Err() != nil {
+		t.Fatal(rs.Err())
+	}
+	j.Close()
+	snap := reg.Snapshot()
+	if snap["runner.journal.appends"] != int64(len(jobs)) || snap["runner.journal.hits"] != 0 {
+		t.Fatalf("first run: appends=%d hits=%d, want %d/0",
+			snap["runner.journal.appends"], snap["runner.journal.hits"], len(jobs))
+	}
+	reg2 := telemetry.New()
+	j2 := open(true)
+	if rs, _ := runner.Run(context.Background(), jobs, runner.Options{Journal: j2, Telemetry: reg2}); rs.Err() != nil {
+		t.Fatal(rs.Err())
+	}
+	j2.Close()
+	snap2 := reg2.Snapshot()
+	if snap2["runner.journal.appends"] != 0 || snap2["runner.journal.hits"] != int64(len(jobs)) {
+		t.Fatalf("resume: appends=%d hits=%d, want 0/%d",
+			snap2["runner.journal.appends"], snap2["runner.journal.hits"], len(jobs))
+	}
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTelemetryConcurrentBatches: two batches sharing one registry under
+// the race detector; totals must sum.
+func TestTelemetryConcurrentBatches(t *testing.T) {
+	reg := telemetry.New()
+	mk := func(base uint64, n int) []sim.Config {
+		jobs := make([]sim.Config, n)
+		for i := range jobs {
+			jobs[i] = quickJob(base + uint64(i))
+			jobs[i].Telemetry = reg // sim counters share the registry too
+		}
+		return jobs
+	}
+	errs := make(chan error, 2)
+	for _, base := range []uint64{700, 800} {
+		go func(base uint64) {
+			rs, _ := runner.Run(context.Background(), mk(base, 5), runner.Options{Workers: 2, Telemetry: reg})
+			errs <- rs.Err()
+		}(base)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := reg.Snapshot()
+	if snap["runner.jobs.total"] != 10 || snap["runner.jobs.done"] != 10 {
+		t.Fatalf("shared registry totals: total=%d done=%d, want 10/10",
+			snap["runner.jobs.total"], snap["runner.jobs.done"])
+	}
+	if snap["sim.runs.completed"] != 10 {
+		t.Fatalf("sim.runs.completed = %d, want 10", snap["sim.runs.completed"])
+	}
+}
+
+// TestProgressPrinter: throttling, format, and the guaranteed final line.
+func TestProgressPrinter(t *testing.T) {
+	var sb strings.Builder
+	hook := runner.ProgressPrinter(&sb, time.Hour) // throttle everything but the final line
+	for d := 1; d <= 3; d++ {
+		hook(runner.Progress{Done: d, Total: 3, Slots: int64(d * 100), Elapsed: time.Duration(d) * time.Second, SlotsPerSec: 100})
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("printed %d lines, want 2 (first + final):\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "jobs=1/3 ") {
+		t.Errorf("first line = %q, want jobs=1/3 prefix", lines[0])
+	}
+	if !strings.Contains(lines[1], "jobs=3/3") || !strings.Contains(lines[1], "slots=300") {
+		t.Errorf("final line = %q, want jobs=3/3 and slots=300", lines[1])
+	}
+
+	sb.Reset()
+	every := runner.ProgressPrinter(&sb, 0) // unthrottled: every completion prints
+	for d := 1; d <= 3; d++ {
+		every(runner.Progress{Done: d, Total: 3})
+	}
+	if got := strings.Count(sb.String(), "\n"); got != 3 {
+		t.Fatalf("unthrottled printer wrote %d lines, want 3", got)
+	}
+}

@@ -66,6 +66,11 @@ type engine struct {
 	eventCursor int
 	crashed     []bool
 
+	// tel is the resolved telemetry instrument set, nil when
+	// Config.Telemetry is unset — in which case every telemetry site in the
+	// slot loops is one predictable nil-check branch (see telemetry.go).
+	tel *simTel
+
 	// Per-slot scratch, reused across slots. rxIntents[r] collects the
 	// surviving intents targeting receiver r (replacing the former
 	// per-slot map churn); rxList is the receivers touched this slot.
@@ -189,14 +194,21 @@ func Run(cfg Config) (*Result, error) {
 		e.linkPRR = m
 	}
 
+	plan := e.planCompact()
+	if cfg.Telemetry != nil {
+		e.tel = newSimTel(cfg.Telemetry, plan != nil)
+	}
 	var runErr error
-	if plan := e.planCompact(); plan != nil {
+	if plan != nil {
 		runErr = e.runCompact(plan)
 	} else {
 		runErr = e.runSlots()
 	}
 	if runErr != nil {
 		return nil, runErr
+	}
+	if e.tel != nil {
+		e.tel.finish(e, cfg.Telemetry)
 	}
 
 	res.Completed = e.covered == cfg.M
@@ -337,6 +349,9 @@ func (e *engine) runSlots() error {
 			return err
 		}
 		res.TotalSlots = t + 1
+		if e.tel != nil {
+			e.tel.tick(e)
+		}
 	}
 	return nil
 }
@@ -378,6 +393,9 @@ func (e *engine) runCompact(plan *compactPlan) error {
 			return err
 		}
 		res.TotalSlots = t + 1
+		if e.tel != nil {
+			e.tel.tick(e)
+		}
 		t = fs.nextRelevant(t + 1)
 	}
 	if e.covered < cfg.M {

@@ -14,6 +14,7 @@ import (
 	"ldcflood/internal/fault"
 	"ldcflood/internal/rngutil"
 	"ldcflood/internal/schedule"
+	"ldcflood/internal/telemetry"
 	"ldcflood/internal/topology"
 )
 
@@ -370,6 +371,17 @@ type Config struct {
 	// that would have fired during a skipped dormant stretch is delivered
 	// at the next visited slot instead.
 	Interrupt func(slot int64) bool
+	// Telemetry, when non-nil, receives cheap always-on counters from the
+	// run: slots visited/skipped, execution-path selection, transmission
+	// attempts by outcome, packet injection/coverage progress, and fault
+	// events (see docs/OBSERVABILITY.md for the catalog). Counters update
+	// live — a slot tick every visited slot, accumulator drains every few
+	// thousand slots and at run end — and never affect results: attaching a
+	// registry touches no RNG stream and changes no engine decision. One
+	// registry may be shared by many concurrent runs (the batch runner's
+	// fan-out); values then aggregate across runs. When nil (the default),
+	// the hot path pays exactly one predictable branch per slot.
+	Telemetry *telemetry.Registry
 	// CompactTime enables the compact-time-scale fast path (the paper's
 	// Section III modeling move: analyze dissemination over active slots
 	// only). The engine precomputes each schedule's periodic active-slot

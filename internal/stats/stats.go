@@ -343,6 +343,7 @@ func LinearFit(x, y []float64) (slope, intercept float64) {
 // RandSource is the minimal random interface needed by Bootstrap; it is
 // satisfied by *rngutil.Stream.
 type RandSource interface {
+	// Intn returns a uniform draw from [0, n); it panics if n <= 0.
 	Intn(n int) int
 }
 

@@ -2,6 +2,7 @@ package tracelog
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -63,6 +64,97 @@ func TestParseRejectsMalformed(t *testing.T) {
 		if _, err := Parse(strings.NewReader(c)); err == nil {
 			t.Fatalf("case %d accepted: %q", i, c)
 		}
+	}
+}
+
+// TestParseErrorMessages pins down the error contract: malformed input
+// yields an error naming the 1-based line number and the specific defect,
+// so a corrupt multi-megabyte trace is debuggable from the message alone.
+func TestParseErrorMessages(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want []string // substrings the error must contain
+	}{
+		{
+			name: "truncated transmission",
+			in:   "I 0 0\nT 4 1 2 0\n",
+			want: []string{"line 2", "want 6 fields, got 5"},
+		},
+		{
+			name: "unknown kind byte",
+			in:   "I 0 0\nC 9 0\nZ 1 2\n",
+			want: []string{"line 3", `unknown event tag "Z"`},
+		},
+		{
+			name: "non-numeric field",
+			in:   "I zero 0\n",
+			want: []string{"line 1", "field 1", "invalid syntax"},
+		},
+		{
+			name: "multi-byte tag",
+			in:   "IC 0 0\n",
+			want: []string{"line 1", "bad event tag"},
+		},
+		{
+			name: "line number counts comments and blanks",
+			in:   "# header\n\nI 0 0\nT bad\n",
+			want: []string{"line 4"},
+		},
+		{
+			name: "overflowing slot number",
+			in:   "I 99999999999999999999999999 0\n",
+			want: []string{"line 1", "value out of range"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatalf("Parse accepted %q", tc.in)
+			}
+			for _, sub := range tc.want {
+				if !strings.Contains(err.Error(), sub) {
+					t.Errorf("error %q does not mention %q", err, sub)
+				}
+			}
+		})
+	}
+}
+
+// errReader fails after yielding its prefix, exercising Parse's
+// scanner-error path (as opposed to its malformed-line path).
+type errReader struct {
+	prefix string
+	err    error
+	done   bool
+}
+
+func (r *errReader) Read(p []byte) (int, error) {
+	if !r.done {
+		r.done = true
+		return copy(p, r.prefix), nil
+	}
+	return 0, r.err
+}
+
+func TestParseReaderError(t *testing.T) {
+	want := errors.New("disk on fire")
+	_, err := Parse(&errReader{prefix: "I 0 0\n", err: want})
+	if !errors.Is(err, want) {
+		t.Fatalf("Parse error = %v, want %v", err, want)
+	}
+}
+
+// TestParseStopsAtFirstBadLine checks no partial slice escapes alongside
+// an error: a trace is either fully decoded or rejected.
+func TestParseStopsAtFirstBadLine(t *testing.T) {
+	events, err := Parse(strings.NewReader("I 0 0\nbogus\nC 9 0\n"))
+	if err == nil {
+		t.Fatal("Parse accepted a bogus line")
+	}
+	if events != nil {
+		t.Fatalf("Parse returned %d events alongside the error", len(events))
 	}
 }
 
