@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race bench bench-engine bench-guard docscheck figures figures-quick faults fuzz-faults examples clean
+.PHONY: all build vet test test-short test-race bench bench-engine bench-scale bench-guard docscheck figures figures-quick faults fuzz-faults examples clean
 
 all: build vet test
 
@@ -32,10 +32,16 @@ bench: bench-engine
 bench-engine:
 	$(GO) run ./cmd/engbench -o BENCH_engine.json
 
+# Refresh the committed large-topology baseline (10k/100k-node GreenOrbs
+# scaling grid, serial vs sharded engine); ~15s on one core.
+bench-scale:
+	$(GO) run ./cmd/engbench -scale -o BENCH_scale.json
+
 # Assert the clean (no-fault) engine has not regressed against the
-# committed baseline: slot horizons exactly, wall clock within 50%.
+# committed baselines: slot horizons exactly, wall clock within 50%.
 bench-guard:
 	$(GO) run ./cmd/engbench -against BENCH_engine.json -tolerance 0.5 -o ""
+	$(GO) run ./cmd/engbench -scale -against BENCH_scale.json -tolerance 0.5 -o ""
 
 # Documentation lints (mirrored in CI): godoc coverage + markdown links.
 docscheck:

@@ -85,7 +85,28 @@ func main() {
 	out := flag.String("o", "BENCH_engine.json", "output file (empty skips writing)")
 	against := flag.String("against", "", "committed baseline to guard against (empty skips the check)")
 	tolerance := flag.Float64("tolerance", 0.5, "allowed fractional wall-clock regression vs -against")
+	scale := flag.Bool("scale", false, "run the large-topology sharded-engine grid (BENCH_scale.json) instead of the engine grid")
+	smoke := flag.Bool("scale-smoke", false, "run the CI scale smoke (10k-node rgg, workers 1 vs 4 byte-equality) and exit")
 	flag.Parse()
+
+	if *smoke {
+		if err := runScaleSmoke(); err != nil {
+			fmt.Fprintln(os.Stderr, "engbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *scale {
+		o := *out
+		if o == "BENCH_engine.json" { // untouched default: scale mode names its own file
+			o = "BENCH_scale.json"
+		}
+		if err := runScale(o, *against, *tolerance); err != nil {
+			fmt.Fprintln(os.Stderr, "engbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	doc, err := measure(*reps)
 	if err != nil {

@@ -1,0 +1,320 @@
+package main
+
+// The -scale mode: large-topology throughput baseline BENCH_scale.json.
+//
+// Where BENCH_engine.json times the paper-scale 298-node grid, the scale
+// grid times the sharded engine (sim.Config.Workers) on 10k- and 100k-node
+// ScaledGreenOrbs instances at 1% duty. Three timings per cell:
+//
+//   - serial_ns: the historical serial path (Workers: 0), which scans all n
+//     nodes every slot and resolves receivers sequentially.
+//   - sharded1_ns / sharded4_ns: the sharded path at 1 and 4 workers, which
+//     activates the CSR adjacency and the bucketed awake-set fast paths.
+//
+// speedup = serial_ns / sharded4_ns is the headline number: at 1% duty the
+// bucketed awake set turns the per-slot wake scan from O(n) into O(awake),
+// so the sharded engine wins by an order of magnitude regardless of worker
+// count. workers_speedup = sharded1_ns / sharded4_ns isolates the parallel
+// contribution alone; on a single-core machine it sits near 1.0 and the
+// committed value documents exactly that.
+//
+// The serial and sharded paths draw from different (both certified) RNG
+// disciplines, so their results legitimately differ; serial_slots and
+// sharded_slots are recorded separately, while `identical` asserts the
+// byte-equality that must hold: workers 1 versus workers 4.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"ldcflood/internal/flood"
+	"ldcflood/internal/rngutil"
+	"ldcflood/internal/schedule"
+	"ldcflood/internal/sim"
+	"ldcflood/internal/topology"
+)
+
+// scaleCase is one cell of the BENCH_scale.json grid.
+type scaleCase struct {
+	Topology string `json:"topology"`
+	Nodes    int    `json:"nodes"`
+	Links    int    `json:"links"`
+	Protocol string `json:"protocol"`
+	Duty     string `json:"duty"`
+	Period   int    `json:"period"`
+	Reps     int    `json:"reps"`
+	// SerialNS is 0 when the serial measurement was skipped (the 100k cell:
+	// the O(n)-scan path is measured at 10k, rerunning it at 100k would
+	// dominate the whole benchmark for a number the 10k cells already pin).
+	SerialNS   int64 `json:"serial_ns,omitempty"`
+	Sharded1NS int64 `json:"sharded1_ns"`
+	Sharded4NS int64 `json:"sharded4_ns"`
+	// Speedup = SerialNS / Sharded4NS (omitted with SerialNS).
+	Speedup float64 `json:"speedup,omitempty"`
+	// WorkersSpeedup = Sharded1NS / Sharded4NS.
+	WorkersSpeedup float64 `json:"workers_speedup"`
+	SerialSlots    int64   `json:"serial_slots,omitempty"`
+	ShardedSlots   int64   `json:"sharded_slots"`
+	// NSPerSlot is Sharded4NS over the sharded run's slot horizon.
+	NSPerSlot float64 `json:"ns_per_slot"`
+	// BytesPerNode is the heap allocated by one sharded run divided by the
+	// node count — the O(n+m)-memory evidence for the 100k cell.
+	BytesPerNode float64 `json:"bytes_per_node"`
+	// Identical records byte-equality of the workers-1 and workers-4 results.
+	Identical bool `json:"identical"`
+}
+
+// scaleBaseline is the BENCH_scale.json document.
+type scaleBaseline struct {
+	Generator string      `json:"generator"`
+	M         int         `json:"m"`
+	Coverage  float64     `json:"coverage"`
+	Seed      int64       `json:"seed"`
+	Cases     []scaleCase `json:"cases"`
+}
+
+// scaleGrid defines the measured cells. Period 100 ≈ 1% duty, the paper's
+// hardest regime and the one where the awake-set bucketing matters most.
+var scaleGrid = []struct {
+	nodes    int
+	protocol string
+	period   int
+	reps     int
+	serial   bool
+}{
+	{10000, "opt", 100, 3, true},
+	{10000, "dbao", 100, 3, true},
+	{100000, "opt", 100, 1, false},
+}
+
+func runScale(out, against string, tol float64) error {
+	doc := &scaleBaseline{Generator: "cmd/engbench -scale", M: 4, Coverage: 0.99, Seed: 1}
+	for _, cell := range scaleGrid {
+		c, err := measureScaleCell(cell.nodes, cell.protocol, cell.period, cell.reps, cell.serial)
+		if err != nil {
+			return fmt.Errorf("%s/%d: %w", cell.protocol, cell.nodes, err)
+		}
+		doc.Cases = append(doc.Cases, *c)
+	}
+	if against != "" {
+		if err := guardScale(doc, against, tol); err != nil {
+			return err
+		}
+		fmt.Printf("scale baseline %s holds within %.0f%%\n", against, tol*100)
+	}
+	if out == "" {
+		return nil
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d cases)\n", out, len(doc.Cases))
+	return nil
+}
+
+// scaleConfig assembles the simulation config for one cell.
+func scaleConfig(g *topology.Graph, scheds []*schedule.Schedule, protocol string, workers int) (sim.Config, error) {
+	p, err := flood.New(protocol)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	return sim.Config{
+		Graph:     g,
+		Schedules: scheds,
+		Protocol:  p,
+		M:         4,
+		Coverage:  0.99,
+		Seed:      1,
+		MaxSlots:  2000000,
+		Workers:   workers,
+	}, nil
+}
+
+// timeScaleRun executes cfg reps times (after one untimed warm-up that also
+// yields the deterministic result) and returns the minimum wall-clock.
+func timeScaleRun(cfg sim.Config, reps int) (int64, *sim.Result, error) {
+	warm, err := sim.Run(cfg)
+	if err != nil {
+		return 0, nil, err
+	}
+	if !warm.Completed {
+		return 0, nil, fmt.Errorf("run did not complete within %d slots", cfg.MaxSlots)
+	}
+	var best time.Duration
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		if _, err := sim.Run(cfg); err != nil {
+			return 0, nil, err
+		}
+		if d := time.Since(start); i == 0 || d < best {
+			best = d
+		}
+	}
+	return best.Nanoseconds(), warm, nil
+}
+
+// measureScaleCell builds the topology and times the three engine modes.
+func measureScaleCell(nodes int, protocol string, period, reps int, serial bool) (*scaleCase, error) {
+	fmt.Printf("building scaled-greenorbs %d...\n", nodes)
+	g, err := topology.GenerateGreenOrbs(topology.ScaledGreenOrbsConfig(nodes), 1)
+	if err != nil {
+		return nil, err
+	}
+	scheds := schedule.AssignUniform(g.N(), period, rngutil.New(1).SubName("schedule"))
+	c := &scaleCase{
+		Topology: "scaled-greenorbs",
+		Nodes:    g.N(),
+		Links:    g.NumLinks(),
+		Protocol: protocol,
+		Duty:     fmt.Sprintf("%.0fpct", 100.0/float64(period)),
+		Period:   period,
+		Reps:     reps,
+	}
+
+	cfg1, err := scaleConfig(g, scheds, protocol, 1)
+	if err != nil {
+		return nil, err
+	}
+	// Heap cost of one sharded run, measured before any timing so the
+	// allocation profile is cold-start-representative.
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	if _, err := sim.Run(cfg1); err != nil {
+		return nil, err
+	}
+	runtime.ReadMemStats(&after)
+	c.BytesPerNode = float64(after.TotalAlloc-before.TotalAlloc) / float64(g.N())
+
+	var res1 *sim.Result
+	c.Sharded1NS, res1, err = timeScaleRun(cfg1, reps)
+	if err != nil {
+		return nil, err
+	}
+	cfg4, err := scaleConfig(g, scheds, protocol, 4)
+	if err != nil {
+		return nil, err
+	}
+	var res4 *sim.Result
+	c.Sharded4NS, res4, err = timeScaleRun(cfg4, reps)
+	if err != nil {
+		return nil, err
+	}
+	c.ShardedSlots = res1.TotalSlots
+	c.WorkersSpeedup = float64(c.Sharded1NS) / float64(c.Sharded4NS)
+	c.NSPerSlot = float64(c.Sharded4NS) / float64(res4.TotalSlots)
+	c.Identical = reflect.DeepEqual(res1, res4)
+	if !c.Identical {
+		return nil, fmt.Errorf("workers 1 and workers 4 results diverge")
+	}
+	if serial {
+		cfg0, err := scaleConfig(g, scheds, protocol, 0)
+		if err != nil {
+			return nil, err
+		}
+		var res0 *sim.Result
+		c.SerialNS, res0, err = timeScaleRun(cfg0, reps)
+		if err != nil {
+			return nil, err
+		}
+		c.SerialSlots = res0.TotalSlots
+		c.Speedup = float64(c.SerialNS) / float64(c.Sharded4NS)
+	}
+	fmt.Printf("%-5s n=%-6d serial=%9.1fms  sharded1=%9.1fms  sharded4=%9.1fms  speedup=%.2fx  workers=%.2fx  %.0f B/node\n",
+		protocol, g.N(), float64(c.SerialNS)/1e6, float64(c.Sharded1NS)/1e6,
+		float64(c.Sharded4NS)/1e6, c.Speedup, c.WorkersSpeedup, c.BytesPerNode)
+	return c, nil
+}
+
+// guardScale compares a fresh scale measurement against the committed
+// baseline: sharded slot horizons exactly (they are deterministic), sharded
+// wall clock within tol. Serial numbers are informational — the serial path
+// is guarded at paper scale by the BENCH_engine.json guard.
+func guardScale(doc *scaleBaseline, path string, tol float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base scaleBaseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	byCell := make(map[string]scaleCase, len(base.Cases))
+	for _, c := range base.Cases {
+		byCell[fmt.Sprintf("%s/%d", c.Protocol, c.Nodes)] = c
+	}
+	for _, c := range doc.Cases {
+		key := fmt.Sprintf("%s/%d", c.Protocol, c.Nodes)
+		b, ok := byCell[key]
+		if !ok {
+			return fmt.Errorf("%s: baseline lacks case %s", path, key)
+		}
+		if c.ShardedSlots != b.ShardedSlots {
+			return fmt.Errorf("%s: sharded slot horizon %d differs from baseline %d — engine behavior changed",
+				key, c.ShardedSlots, b.ShardedSlots)
+		}
+		for _, m := range []struct {
+			name      string
+			cur, base int64
+		}{
+			{"sharded1", c.Sharded1NS, b.Sharded1NS},
+			{"sharded4", c.Sharded4NS, b.Sharded4NS},
+		} {
+			if lim := float64(m.base) * (1 + tol); float64(m.cur) > lim {
+				return fmt.Errorf("%s: %s path %.1fms regressed past baseline %.1fms +%.0f%%",
+					key, m.name, float64(m.cur)/1e6, float64(m.base)/1e6, tol*100)
+			}
+		}
+	}
+	return nil
+}
+
+// runScaleSmoke is the CI gate: a 10k-node random geometric graph, one
+// protocol, workers 1 versus 4 byte-equality, bounded by the CI step's
+// timeout. Exits through an error on any divergence.
+func runScaleSmoke() error {
+	const nodes = 10000
+	// Field side chosen to keep GreenOrbs-like density at 10k nodes.
+	field := 130 * 5.8
+	fmt.Printf("scale smoke: building rgg %d...\n", nodes)
+	g, err := topology.RandomGeometric(nodes, field, field, topology.ForestRadio(), 0.10, 1)
+	if err != nil {
+		return err
+	}
+	scheds := schedule.AssignUniform(g.N(), 100, rngutil.New(1).SubName("schedule"))
+	run := func(workers int) (*sim.Result, time.Duration, error) {
+		cfg, err := scaleConfig(g, scheds, "opt", workers)
+		if err != nil {
+			return nil, 0, err
+		}
+		start := time.Now()
+		res, err := sim.Run(cfg)
+		return res, time.Since(start), err
+	}
+	res1, d1, err := run(1)
+	if err != nil {
+		return err
+	}
+	res4, d4, err := run(4)
+	if err != nil {
+		return err
+	}
+	if !res1.Completed {
+		return fmt.Errorf("smoke run did not complete")
+	}
+	if !reflect.DeepEqual(res1, res4) {
+		return fmt.Errorf("workers 1 and workers 4 results diverge")
+	}
+	fmt.Printf("scale smoke ok: %d nodes, %d links, %d slots, workers1=%s workers4=%s, identical\n",
+		g.N(), g.NumLinks(), res1.TotalSlots, d1.Round(time.Millisecond), d4.Round(time.Millisecond))
+	return nil
+}

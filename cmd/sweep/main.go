@@ -78,6 +78,7 @@ func main() {
 		backoff   = flag.Duration("backoff", time.Second, "base delay before the first retry, doubling per attempt")
 		out       = flag.String("out", "", "output CSV path (default stdout)")
 		parallel  = flag.Int("parallel", 0, "batch-runner workers (0 = GOMAXPROCS); the CSV is identical for every value")
+		workers   = flag.Int("workers", 0, "per-run shard workers: 0 = historical serial engine, >= 1 = sharded deterministic mode (identical results for every count), -1 = auto-split the machine between batch and shard workers")
 		timeout   = flag.Duration("timeout", 0, "per-run wall-clock budget (0 = none); an overrunning cell fails with a typed timeout error")
 		progress  = flag.Bool("progress", false, "print live batch progress to stderr")
 		debugAddr = flag.String("debug-addr", "", "serve live telemetry (/debug/vars) and pprof on this address during the sweep (e.g. :8080, :0 for an ephemeral port)")
@@ -110,6 +111,7 @@ func main() {
 		retries:      *retries,
 		backoff:      *backoff,
 		parallel:     *parallel,
+		workers:      *workers,
 		timeout:      *timeout,
 		debugAddr:    *debugAddr,
 	}
@@ -146,6 +148,7 @@ type sweepConfig struct {
 	retries      int
 	backoff      time.Duration
 	parallel     int
+	workers      int // sim.Config.Workers; -1 = auto-split with the batch runner
 	timeout      time.Duration
 	progress     io.Writer // nil disables progress reporting
 	debugAddr    string    // "" disables the /debug/vars + pprof server
@@ -157,12 +160,16 @@ type sweepConfig struct {
 
 // journalKey identifies the grid a journal belongs to: every parameter
 // that changes the simulation output, including the fault spec itself (not
-// its file name, so an edited spec invalidates old checkpoints).
-func (sc sweepConfig) journalKey(faultJSON []byte) string {
+// its file name, so an edited spec invalidates old checkpoints) and the
+// engine discipline (serial vs sharded — two different, individually
+// deterministic RNG streams). The exact shard-worker count is NOT keyed:
+// every count >= 1 produces identical results by construction, so a
+// journal written at -workers 1 resumes cleanly at -workers 4.
+func (sc sweepConfig) journalKey(faultJSON []byte, shardWorkers int) string {
 	h := fnv.New64a()
 	h.Write(faultJSON)
-	return fmt.Sprintf("sweep|protocols=%s|duties=%s|seeds=%d|m=%d|coverage=%g|toposeed=%d|syncerr=%g|compact=%v|faults=%x",
-		sc.protocolsCSV, sc.dutiesCSV, sc.seeds, sc.m, sc.coverage, sc.topoSeed, sc.syncErr, sc.compact, h.Sum64())
+	return fmt.Sprintf("sweep|protocols=%s|duties=%s|seeds=%d|m=%d|coverage=%g|toposeed=%d|syncerr=%g|compact=%v|sharded=%v|faults=%x",
+		sc.protocolsCSV, sc.dutiesCSV, sc.seeds, sc.m, sc.coverage, sc.topoSeed, sc.syncErr, sc.compact, shardWorkers > 0, h.Sum64())
 }
 
 func run(w io.Writer, sc sweepConfig) error {
@@ -214,6 +221,15 @@ func run(w io.Writer, sc sweepConfig) error {
 			}
 		}
 	}
+	// Resolve the engine discipline before jobs are built: -workers -1
+	// splits the machine budget between batch-level and shard-level
+	// parallelism (both layers are deterministic, so the CSV is identical
+	// for every split).
+	batchWorkers, shardWorkers := sc.parallel, sc.workers
+	if sc.workers < 0 {
+		batchWorkers, shardWorkers = runner.SplitParallelism(sc.parallel, len(cells))
+	}
+
 	jobs := make([]sim.Config, len(cells))
 	for i, c := range cells {
 		p, err := flood.New(c.protocol)
@@ -231,11 +247,12 @@ func run(w io.Writer, sc sweepConfig) error {
 			SyncErrorProb: sc.syncErr,
 			Faults:        spec,
 			CompactTime:   sc.compact,
+			Workers:       shardWorkers,
 		}
 	}
 
 	ropts := runner.Options{
-		Workers:      sc.parallel,
+		Workers:      batchWorkers,
 		Timeout:      sc.timeout,
 		Retries:      sc.retries,
 		RetryBackoff: sc.backoff,
@@ -266,7 +283,7 @@ func run(w io.Writer, sc sweepConfig) error {
 		}
 	}
 	if sc.journalPath != "" {
-		j, err := runner.OpenJournal(sc.journalPath, sc.journalKey(faultJSON), sc.resume)
+		j, err := runner.OpenJournal(sc.journalPath, sc.journalKey(faultJSON, shardWorkers), sc.resume)
 		if err != nil {
 			return err
 		}

@@ -4,9 +4,15 @@
 // Usage:
 //
 //	topogen -type greenorbs [-seed 1] [-out trace.txt] [-format text|json] [-stats]
+//	topogen -type greenorbs -nodes 100000  # scaled instance, constant density
 //	topogen -type rgg -nodes 100 [-field 100] [-seed 1] ...
 //	topogen -type grid -rows 10 -cols 10 [-prr 0.9] ...
 //	topogen -in trace.txt -stats           # inspect an existing trace
+//
+// For greenorbs, passing -nodes scales the calibrated 298-node deployment
+// to the requested size at constant node density (topology.
+// ScaledGreenOrbsConfig); link generation is spatial-hashed, so 100k-node
+// instances build in O(n).
 package main
 
 import (
@@ -23,7 +29,7 @@ func main() {
 	var (
 		typ    = flag.String("type", "greenorbs", "topology type: greenorbs, testbed, rgg, grid, line, star, complete")
 		seed   = flag.Uint64("seed", 1, "generator seed")
-		nodes  = flag.Int("nodes", 100, "node count (rgg, line, star, complete)")
+		nodes  = flag.Int("nodes", 100, "node count (rgg, line, star, complete; for greenorbs, scales the deployment at constant density)")
 		field  = flag.Float64("field", 100, "field side length in meters (rgg)")
 		rows   = flag.Int("rows", 10, "grid rows")
 		cols   = flag.Int("cols", 10, "grid cols")
@@ -36,14 +42,24 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*typ, *in, *out, *format, *seed, *nodes, *field, *rows, *cols, *prr, *minPRR, *stats); err != nil {
+	// The -nodes default serves the rgg/line/star families; for greenorbs
+	// only an explicit -nodes switches from the calibrated 298-node trace to
+	// the scaled instance.
+	scaleNodes := 0 // 0: greenorbs keeps its calibrated 298-node shape
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "nodes" {
+			scaleNodes = *nodes
+		}
+	})
+
+	if err := run(*typ, *in, *out, *format, *seed, *nodes, scaleNodes, *field, *rows, *cols, *prr, *minPRR, *stats); err != nil {
 		fmt.Fprintln(os.Stderr, "topogen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(typ, in, out, format string, seed uint64, nodes int, field float64, rows, cols int, prr, minPRR float64, stats bool) error {
-	g, err := build(typ, in, seed, nodes, field, rows, cols, prr, minPRR)
+func run(typ, in, out, format string, seed uint64, nodes, scaleNodes int, field float64, rows, cols int, prr, minPRR float64, stats bool) error {
+	g, err := build(typ, in, seed, nodes, scaleNodes, field, rows, cols, prr, minPRR)
 	if err != nil {
 		return err
 	}
@@ -76,7 +92,7 @@ func run(typ, in, out, format string, seed uint64, nodes int, field float64, row
 	}
 }
 
-func build(typ, in string, seed uint64, nodes int, field float64, rows, cols int, prr, minPRR float64) (*topology.Graph, error) {
+func build(typ, in string, seed uint64, nodes, scaleNodes int, field float64, rows, cols int, prr, minPRR float64) (*topology.Graph, error) {
 	if in != "" {
 		f, err := os.Open(in)
 		if err != nil {
@@ -87,6 +103,11 @@ func build(typ, in string, seed uint64, nodes int, field float64, rows, cols int
 	}
 	switch typ {
 	case "greenorbs":
+		if scaleNodes > 0 {
+			cfg := topology.ScaledGreenOrbsConfig(scaleNodes)
+			cfg.MinPRR = minPRR
+			return topology.GenerateGreenOrbs(cfg, seed)
+		}
 		return topology.GreenOrbs(seed), nil
 	case "testbed":
 		return topology.Testbed(seed), nil

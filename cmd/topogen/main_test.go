@@ -22,7 +22,7 @@ func TestBuildTypes(t *testing.T) {
 		{"complete", 40},
 	}
 	for _, c := range cases {
-		g, err := build(c.typ, "", 1, 40, 80, 4, 5, 0.9, 0.1)
+		g, err := build(c.typ, "", 1, 40, 0, 80, 4, 5, 0.9, 0.1)
 		if err != nil {
 			t.Fatalf("%s: %v", c.typ, err)
 		}
@@ -30,8 +30,23 @@ func TestBuildTypes(t *testing.T) {
 			t.Fatalf("%s: %d nodes, want %d", c.typ, g.N(), c.want)
 		}
 	}
-	if _, err := build("bogus", "", 1, 10, 10, 2, 2, 0.9, 0.1); err == nil {
+	if _, err := build("bogus", "", 1, 10, 0, 10, 2, 2, 0.9, 0.1); err == nil {
 		t.Fatal("unknown type accepted")
+	}
+}
+
+// TestBuildScaledGreenOrbs checks that an explicit -nodes reroutes the
+// greenorbs type through the constant-density scaling path.
+func TestBuildScaledGreenOrbs(t *testing.T) {
+	g, err := build("greenorbs", "", 1, 600, 600, 0, 0, 0, 0.9, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 600 {
+		t.Fatalf("scaled greenorbs has %d nodes, want 600", g.N())
+	}
+	if s := g.Analyze(); !s.Connected {
+		t.Fatal("scaled greenorbs is not connected")
 	}
 }
 
@@ -40,14 +55,14 @@ func TestBuildFromFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte("graph g 2\nlink 0 1 0.5\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	g, err := build("ignored", path, 1, 0, 0, 0, 0, 0, 0)
+	g, err := build("ignored", path, 1, 0, 0, 0, 0, 0, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if g.N() != 2 {
 		t.Fatalf("N = %d", g.N())
 	}
-	if _, err := build("x", "/nonexistent", 1, 0, 0, 0, 0, 0, 0); err == nil {
+	if _, err := build("x", "/nonexistent", 1, 0, 0, 0, 0, 0, 0, 0); err == nil {
 		t.Fatal("missing file accepted")
 	}
 }
@@ -55,7 +70,7 @@ func TestBuildFromFile(t *testing.T) {
 func TestRunWritesTextAndJSON(t *testing.T) {
 	dir := t.TempDir()
 	textPath := filepath.Join(dir, "g.txt")
-	if err := run("grid", "", textPath, "text", 1, 0, 0, 3, 3, 0.8, 0.1, true); err != nil {
+	if err := run("grid", "", textPath, "text", 1, 0, 0, 0, 3, 3, 0.8, 0.1, true); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(textPath)
@@ -72,7 +87,7 @@ func TestRunWritesTextAndJSON(t *testing.T) {
 	}
 
 	jsonPath := filepath.Join(dir, "g.json")
-	if err := run("grid", "", jsonPath, "json", 1, 0, 0, 3, 3, 0.8, 0.1, false); err != nil {
+	if err := run("grid", "", jsonPath, "json", 1, 0, 0, 0, 3, 3, 0.8, 0.1, false); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(jsonPath)
@@ -83,7 +98,7 @@ func TestRunWritesTextAndJSON(t *testing.T) {
 		t.Fatal("empty json output")
 	}
 
-	if err := run("grid", "", filepath.Join(dir, "x"), "yaml", 1, 0, 0, 3, 3, 0.8, 0.1, false); err == nil {
+	if err := run("grid", "", filepath.Join(dir, "x"), "yaml", 1, 0, 0, 0, 3, 3, 0.8, 0.1, false); err == nil {
 		t.Fatal("unknown format accepted")
 	}
 }

@@ -222,6 +222,22 @@ func (in *Injector) LinkScale(t int64, u, v int) float64 {
 	return c.scaleAt(t)
 }
 
+// Sync advances every link chain to slot t. After Sync(t) returns, LinkScale
+// queries at the same t are read-only (the lazy advance in scaleAt has
+// nothing left to do), which is what makes them safe from the sharded
+// engine's concurrent delivery workers. Chains advance on private per-link
+// streams, so the map iteration order here does not affect any draw. Sync
+// may advance chains past flips a lazy caller would never have reached
+// (links that are never queried), so ChainFlips can read higher under
+// Sync-based runs; the flip count is telemetry, not part of simulation
+// results, and is still deterministic for a fixed (schedule, graph, seed).
+// Calls must be non-decreasing in t, like LinkScale.
+func (in *Injector) Sync(t int64) {
+	for _, c := range in.chains {
+		c.scaleAt(t)
+	}
+}
+
 // ChainFlips returns how many Gilbert–Elliott state transitions the
 // injector's link chains have taken so far. Chains advance lazily, so the
 // count covers each chain up to the last slot it was queried at; it is

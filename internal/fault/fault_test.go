@@ -355,3 +355,30 @@ func TestLoad(t *testing.T) {
 		t.Error("missing file accepted")
 	}
 }
+
+// TestSyncMatchesLazyQueries pins the sharded-engine contract: advancing
+// every chain with Sync(t) and then reading LinkScale(t) yields exactly the
+// scales a lazy query-as-you-go injector reports, and the post-Sync reads
+// leave chain state untouched (repeat reads agree).
+func TestSyncMatchesLazyQueries(t *testing.T) {
+	g := line(10, 0.6)
+	s := &Schedule{Links: []LinkRule{{PGB: 0.08, PBG: 0.25, BadScale: 0.3, StartBad: 0.4}}}
+	lazy := s.Compile(g, rngutil.New(11))
+	synced := s.Compile(g, rngutil.New(11))
+	for t64 := int64(0); t64 < 800; t64 += 13 {
+		synced.Sync(t64)
+		for u := 0; u < 9; u++ {
+			want := lazy.LinkScale(t64, u, u+1)
+			if got := synced.LinkScale(t64, u, u+1); got != want {
+				t.Fatalf("slot %d link %d-%d: synced %v, lazy %v", t64, u, u+1, got, want)
+			}
+			if got := synced.LinkScale(t64, u, u+1); got != want {
+				t.Fatalf("slot %d link %d-%d: repeat read changed state", t64, u, u+1)
+			}
+		}
+	}
+	if synced.ChainFlips() < lazy.ChainFlips() {
+		t.Fatalf("Sync advanced fewer flips (%d) than lazy queries (%d)",
+			synced.ChainFlips(), lazy.ChainFlips())
+	}
+}

@@ -37,14 +37,15 @@ type DBAO struct {
 	DisableOverhearing bool
 
 	assigned  []bool
-	audible   [][]uint64 // carrier-sense audibility bitset
+	audible   *audibility // carrier-sense audibility structure
+	csr       *topology.CSR
 	intentBuf []sim.Intent
 	candBuf   []dbaoCand
 	firingBuf []dbaoCand
 
-	// csGraph / csFactor memoize the audibility matrix: graphs are immutable
-	// by convention, so repeated runs over the same topology (sweeps, the
-	// batch runner) skip the O(n²) rebuild.
+	// csGraph / csFactor memoize the audibility structure: graphs are
+	// immutable by convention, so repeated runs over the same topology
+	// (sweeps, the batch runner) skip the rebuild.
 	csGraph  *topology.Graph
 	csFactor float64
 }
@@ -87,28 +88,23 @@ func (d *DBAO) Reset(w *sim.World) {
 		d.HiddenFireProb = 0.5
 	}
 	if d.csGraph != w.Graph || d.csFactor != d.CSRangeFactor {
-		d.audible = carrierSenseBitset(w.Graph, d.CSRangeFactor)
+		d.audible = buildAudibility(w.Graph, d.CSRangeFactor)
 		d.csGraph, d.csFactor = w.Graph, d.CSRangeFactor
 	}
+	d.csr = w.Graph.CSR()
 }
 
-// carrierSenseBitset returns the audibility matrix: with positions, nodes
-// within csFactor × (longest link distance) of each other; without
-// positions, the communication adjacency itself.
+// carrierSenseBitset returns the dense audibility matrix: with positions,
+// nodes within csFactor × (longest link distance) of each other; without
+// positions, the communication adjacency itself. The O(n²) pair loop
+// compares squared distances to avoid a Hypot per pair via audiblePair's
+// banded predicate; buildAudibility holds the size cutoff above which the
+// sparse spatial-hash form replaces this matrix.
 func carrierSenseBitset(g *topology.Graph, csFactor float64) [][]uint64 {
 	if g.Pos == nil {
 		return g.AdjacencyBitset()
 	}
-	maxLink := 0.0
-	for _, e := range g.Links() {
-		if d := g.Pos[e.U].Dist(g.Pos[e.V]); d > maxLink {
-			maxLink = d
-		}
-	}
-	csRange := csFactor * maxLink
-	// The O(n²) pair loop compares squared distances to avoid a Hypot per
-	// pair; the correctly-rounded Dist comparison is consulted only inside a
-	// narrow band around the threshold where dx²+dy² rounding could disagree.
+	csRange := carrierSenseRange(g, csFactor)
 	cs2 := csRange * csRange
 	lo := cs2 * (1 - 1e-9)
 	hi := cs2 * (1 + 1e-9)
@@ -122,19 +118,7 @@ func carrierSenseBitset(g *topology.Graph, csFactor float64) [][]uint64 {
 	for u := 0; u < n; u++ {
 		pu := g.Pos[u]
 		for v := u + 1; v < n; v++ {
-			pv := g.Pos[v]
-			dx, dy := pu.X-pv.X, pu.Y-pv.Y
-			d2 := dx*dx + dy*dy
-			var audible bool
-			switch {
-			case d2 <= lo:
-				audible = true
-			case d2 >= hi:
-				audible = false
-			default:
-				audible = pu.Dist(pv) <= csRange
-			}
-			if audible {
+			if audiblePair(pu, g.Pos[v], lo, hi, csRange) {
 				b[u][v/64] |= 1 << (uint(v) % 64)
 				b[v][u/64] |= 1 << (uint(u) % 64)
 			}
@@ -159,12 +143,14 @@ func (d *DBAO) Intents(w *sim.World) []sim.Intent {
 			continue
 		}
 		cands := d.candBuf[:0]
-		for _, l := range w.Graph.Neighbors(r) {
-			if d.assigned[l.To] {
+		row, prrs := d.csr.Row(r)
+		for i, s32 := range row {
+			s := int(s32)
+			if d.assigned[s] {
 				continue
 			}
-			if w.AnyNeeded(l.To, r) && !deferToReception(w, l.To) {
-				cands = append(cands, dbaoCand{node: l.To, prr: l.PRR})
+			if w.AnyNeeded(s, r) && !deferToReception(w, s) {
+				cands = append(cands, dbaoCand{node: s, prr: prrs[i]})
 			}
 		}
 		d.candBuf = cands
@@ -186,7 +172,7 @@ func (d *DBAO) Intents(w *sim.World) []sim.Intent {
 		winner := cands[wi].node
 		hidden := d.firingBuf[:0]
 		for i, c := range cands {
-			if i == wi || topology.BitsetHas(d.audible[c.node], winner) {
+			if i == wi || d.audible.has(c.node, winner) {
 				continue // carrier sense: hears the winner's earlier start
 			}
 			hidden = append(hidden, c)

@@ -1,0 +1,11 @@
+package flood
+
+// setAudibilityDenseLimit pins the dense/sparse carrier-sense cutoff so the
+// spatial-hash audibility structure (a 100k-node production path) can be
+// certified against the dense matrix on paper-scale graphs. Returns a
+// restore function.
+func setAudibilityDenseLimit(n int) func() {
+	old := audibilityDenseLimit
+	audibilityDenseLimit = n
+	return func() { audibilityDenseLimit = old }
+}

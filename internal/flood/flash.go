@@ -1,6 +1,9 @@
 package flood
 
-import "ldcflood/internal/sim"
+import (
+	"ldcflood/internal/sim"
+	"ldcflood/internal/topology"
+)
 
 // Flash reconstructs the flash-flooding idea of the paper's reference [17]
 // (Lu & Whitehouse, INFOCOM'09): instead of arbitrating a single sender,
@@ -12,6 +15,7 @@ import "ldcflood/internal/sim"
 // instructive ablation.
 type Flash struct {
 	assigned  []bool
+	csr       *topology.CSR
 	intentBuf []sim.Intent
 }
 
@@ -24,6 +28,7 @@ func (f *Flash) Name() string { return "Flash" }
 // Reset implements sim.Protocol.
 func (f *Flash) Reset(w *sim.World) {
 	f.assigned = make([]bool, w.Graph.N())
+	f.csr = w.Graph.CSR()
 }
 
 // CollisionsApply implements sim.Protocol: concurrent transmissions
@@ -38,8 +43,9 @@ func (f *Flash) Overhears() bool { return true }
 func (f *Flash) Intents(w *sim.World) []sim.Intent {
 	out := f.intentBuf[:0]
 	for _, r := range w.AwakeList() {
-		for _, l := range w.Graph.Neighbors(r) {
-			s := l.To
+		row, _ := f.csr.Row(r)
+		for _, s32 := range row {
+			s := int(s32)
 			if f.assigned[s] {
 				continue
 			}

@@ -19,12 +19,13 @@ type Naive struct {
 	HiddenFireProb float64
 
 	assigned  []bool
-	audible   [][]uint64
+	audible   *audibility
+	csr       *topology.CSR
 	intentBuf []sim.Intent
 	candBuf   []int
 	firingBuf []int
 
-	// csGraph memoizes the audibility matrix across runs over the same
+	// csGraph memoizes the audibility structure across runs over the same
 	// (immutable) topology.
 	csGraph *topology.Graph
 }
@@ -42,9 +43,10 @@ func (n *Naive) Reset(w *sim.World) {
 		n.HiddenFireProb = 0.5
 	}
 	if n.csGraph != w.Graph {
-		n.audible = carrierSenseBitset(w.Graph, 1.2)
+		n.audible = buildAudibility(w.Graph, 1.2)
 		n.csGraph = w.Graph
 	}
+	n.csr = w.Graph.CSR()
 }
 
 // CollisionsApply implements sim.Protocol.
@@ -63,9 +65,11 @@ func (n *Naive) Intents(w *sim.World) []sim.Intent {
 			continue
 		}
 		cands := n.candBuf[:0]
-		for _, l := range w.Graph.Neighbors(r) {
-			if !n.assigned[l.To] && w.AnyNeeded(l.To, r) && !deferToReception(w, l.To) {
-				cands = append(cands, l.To)
+		row, _ := n.csr.Row(r)
+		for _, s32 := range row {
+			s := int(s32)
+			if !n.assigned[s] && w.AnyNeeded(s, r) && !deferToReception(w, s) {
+				cands = append(cands, s)
 			}
 		}
 		n.candBuf = cands
@@ -82,7 +86,7 @@ func (n *Naive) Intents(w *sim.World) []sim.Intent {
 			if i == rot {
 				continue
 			}
-			if topology.BitsetHas(n.audible[c], winner) {
+			if n.audible.has(c, winner) {
 				continue
 			}
 			if w.ProtoRNG.Bool(n.HiddenFireProb) {

@@ -26,6 +26,7 @@ type OF struct {
 	tr        *tree.Tree
 	expDelay  []float64
 	assigned  []bool
+	csr       *topology.CSR
 	intentBuf []sim.Intent
 	pktBuf    []int
 
@@ -57,6 +58,7 @@ func (o *OF) Reset(w *sim.World) {
 		o.treeGraph, o.treePeriod = w.Graph, period
 	}
 	o.assigned = make([]bool, w.Graph.N())
+	o.csr = w.Graph.CSR()
 	if o.Aggressiveness <= 0 {
 		o.Aggressiveness = 0.25
 	}
@@ -92,7 +94,7 @@ func (o *OF) Intents(w *sim.World) []sim.Intent {
 		// candidate density (part of OF's p-value computation) so the
 		// expected number of opportunistic transmissions per wake-up stays
 		// O(Aggressiveness) rather than O(degree).
-		nbrs := w.Graph.Neighbors(r)
+		nbrs, prrs := o.csr.Row(r)
 		if cap(o.pktBuf) < len(nbrs) {
 			o.pktBuf = make([]int, len(nbrs))
 		}
@@ -102,10 +104,11 @@ func (o *OF) Intents(w *sim.World) []sim.Intent {
 		// considers was scanned here.
 		pkts := o.pktBuf[:len(nbrs)]
 		oppCands := 0
-		for i, l := range nbrs {
+		for i, s32 := range nbrs {
+			s := int(s32)
 			pkts[i] = -1
-			if l.To != parent && !o.assigned[l.To] {
-				if pkt := w.OldestNeeded(l.To, r); pkt >= 0 {
+			if s != parent && !o.assigned[s] {
+				if pkt := w.OldestNeeded(s, r); pkt >= 0 {
 					pkts[i] = pkt
 					oppCands++
 				}
@@ -114,8 +117,8 @@ func (o *OF) Intents(w *sim.World) []sim.Intent {
 		if oppCands == 0 {
 			continue
 		}
-		for i, l := range nbrs {
-			s := l.To
+		for i, s32 := range nbrs {
+			s := int(s32)
 			if s == parent || o.assigned[s] {
 				continue
 			}
@@ -123,7 +126,7 @@ func (o *OF) Intents(w *sim.World) []sim.Intent {
 			if pkt < 0 {
 				continue
 			}
-			q := o.forwardProbability(w, r, pkt, l.PRR, parentServes, oppCands)
+			q := o.forwardProbability(w, r, pkt, prrs[i], parentServes, oppCands)
 			if q > 0 && w.ProtoRNG.Bool(q) && !deferToReception(w, s) {
 				o.assigned[s] = true
 				out = append(out, sim.Intent{From: s, To: r, Packet: pkt})

@@ -1,6 +1,9 @@
 package flood
 
-import "ldcflood/internal/sim"
+import (
+	"ldcflood/internal/sim"
+	"ldcflood/internal/topology"
+)
 
 // OPT is the oracle flooding scheme of Section V-A: at every active slot
 // each sensor receives a needed packet from the neighbor with the best link
@@ -15,6 +18,7 @@ type OPT struct {
 	DisableOverhearing bool
 
 	assigned  []bool
+	csr       *topology.CSR
 	intentBuf []sim.Intent
 }
 
@@ -27,6 +31,7 @@ func (o *OPT) Name() string { return "OPT" }
 // Reset implements sim.Protocol.
 func (o *OPT) Reset(w *sim.World) {
 	o.assigned = make([]bool, w.Graph.N())
+	o.csr = w.Graph.CSR()
 }
 
 // CollisionsApply implements sim.Protocol: the oracle never collides.
@@ -51,13 +56,15 @@ func (o *OPT) Intents(w *sim.World) []sim.Intent {
 			continue
 		}
 		bestS, bestPRR := -1, 0.0
-		for _, l := range w.Graph.Neighbors(r) {
-			if o.assigned[l.To] {
+		row, prrs := o.csr.Row(r)
+		for i, s32 := range row {
+			s := int(s32)
+			if o.assigned[s] {
 				continue
 			}
-			if l.PRR > bestPRR || (l.PRR == bestPRR && bestS >= 0 && l.To < bestS) {
-				if w.AnyNeeded(l.To, r) && !deferToReception(w, l.To) {
-					bestS, bestPRR = l.To, l.PRR
+			if prrs[i] > bestPRR || (prrs[i] == bestPRR && bestS >= 0 && s < bestS) {
+				if w.AnyNeeded(s, r) && !deferToReception(w, s) {
+					bestS, bestPRR = s, prrs[i]
 				}
 			}
 		}

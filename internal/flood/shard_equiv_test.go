@@ -1,0 +1,165 @@
+package flood
+
+// Equivalence suite for the sharded engine (sim.Config.Workers >= 1) with
+// the real protocols: worker counts must be interchangeable byte for byte
+// across every protocol × time path × fault family, and the two time paths
+// must agree under sharding just as they do serially. Also certifies the
+// sparse (spatial-hash) carrier-sense audibility against the dense matrix,
+// membership-exact and end to end.
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"ldcflood/internal/fault"
+	"ldcflood/internal/sim"
+	"ldcflood/internal/topology"
+	"ldcflood/internal/tracelog"
+)
+
+// runSharded executes one configuration with the given worker count and
+// time path, returning the result and trace bytes. A fresh protocol
+// instance per run keeps memoized state from crossing runs.
+func runSharded(t *testing.T, cfg sim.Config, protocol string, workers int, compact bool) (*sim.Result, []byte) {
+	t.Helper()
+	p, err := New(protocol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	c := cfg
+	c.Protocol = p
+	c.Observer = tracelog.NewLogger(&buf)
+	c.Workers = workers
+	c.CompactTime = compact
+	res, err := sim.Run(c)
+	if err != nil {
+		t.Fatalf("%s workers=%d compact=%v: %v", protocol, workers, compact, err)
+	}
+	if err := c.Observer.(*tracelog.Logger).Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return res, buf.Bytes()
+}
+
+// allProtocols is Names() plus flash (which needs CaptureProb > 0, supplied
+// by shardCfg).
+func allProtocols() []string { return append(Names(), "flash") }
+
+// shardCfg is faultCfg with the engine's secondary RNG streams (sync
+// errors, capture) enabled, so the sharded discipline is exercised on every
+// draw family at once.
+func shardCfg(g *topology.Graph, faults *fault.Schedule, seed uint64) sim.Config {
+	cfg := faultCfg(g, faults, seed)
+	cfg.SyncErrorProb = 0.02
+	cfg.CaptureProb = 0.4
+	return cfg
+}
+
+// TestShardEquivalenceGrid is the sharded acceptance grid: every protocol ×
+// both time paths × every fault family (plus the unfaulted case), workers 1
+// and workers 4 must produce identical results and byte-identical traces;
+// and at workers 4 the compact path must reproduce the reference path, the
+// same guarantee the serial engine certifies elsewhere.
+func TestShardEquivalenceGrid(t *testing.T) {
+	schedules := faultSchedules()
+	schedules["none"] = nil
+	for name, fs := range schedules {
+		fs := fs
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			g := topology.Grid(6, 6, 0.8)
+			cfg := shardCfg(g, fs, 1234)
+			for _, protocol := range allProtocols() {
+				ref1, refTrace1 := runSharded(t, cfg, protocol, 1, false)
+				ref4, refTrace4 := runSharded(t, cfg, protocol, 4, false)
+				if !reflect.DeepEqual(ref1, ref4) {
+					t.Errorf("%s reference: workers 4 diverged from workers 1", protocol)
+				}
+				if !bytes.Equal(refTrace1, refTrace4) {
+					t.Errorf("%s reference: traces diverge across worker counts", protocol)
+				}
+				cmp1, cmpTrace1 := runSharded(t, cfg, protocol, 1, true)
+				cmp4, cmpTrace4 := runSharded(t, cfg, protocol, 4, true)
+				if !reflect.DeepEqual(cmp1, cmp4) {
+					t.Errorf("%s compact: workers 4 diverged from workers 1", protocol)
+				}
+				if !bytes.Equal(cmpTrace1, cmpTrace4) {
+					t.Errorf("%s compact: traces diverge across worker counts", protocol)
+				}
+				if !reflect.DeepEqual(ref4, cmp4) {
+					t.Errorf("%s: compact path diverged from reference path at workers 4", protocol)
+				}
+				if !bytes.Equal(refTrace4, cmpTrace4) {
+					t.Errorf("%s: compact trace diverged from reference trace at workers 4", protocol)
+				}
+			}
+		})
+	}
+}
+
+// TestAudibilitySparseMatchesDense certifies the spatial-hash sparse
+// audibility structure membership-identical to the dense matrix, on a
+// positioned forest topology and on the position-free fallback.
+func TestAudibilitySparseMatchesDense(t *testing.T) {
+	check := func(g *topology.Graph, csFactor float64) {
+		t.Helper()
+		dense := buildAudibility(g, csFactor)
+		if dense.bits == nil {
+			t.Fatal("expected dense structure below the cutoff")
+		}
+		restore := setAudibilityDenseLimit(1)
+		sparse := buildAudibility(g, csFactor)
+		restore()
+		if sparse.rows == nil {
+			t.Fatal("expected sparse structure with the cutoff forced")
+		}
+		n := g.N()
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u == v {
+					continue
+				}
+				if dense.has(u, v) != sparse.has(u, v) {
+					t.Fatalf("audibility(%d, %d): dense %v, sparse %v",
+						u, v, dense.has(u, v), sparse.has(u, v))
+				}
+			}
+		}
+	}
+	g := topology.GreenOrbs(1)
+	check(g, 1.2)
+	check(g, 2.0)
+	posFree := g.Clone()
+	posFree.Pos = nil
+	check(posFree, 1.2)
+}
+
+// TestSparseAudibilityEndToEnd runs the carrier-sense protocols with the
+// sparse audibility structure forced and requires bit-identical results and
+// traces versus the dense matrix.
+func TestSparseAudibilityEndToEnd(t *testing.T) {
+	g := topology.GreenOrbs(1)
+	cfg := sim.Config{
+		Graph:            g,
+		Schedules:        uniform(g.N(), 20, 42),
+		M:                3,
+		Coverage:         0.99,
+		Seed:             7,
+		MaxSlots:         200000,
+		RecordReceptions: true,
+	}
+	for _, protocol := range []string{"dbao", "naive"} {
+		dense, denseTrace := runSharded(t, cfg, protocol, 0, true)
+		restore := setAudibilityDenseLimit(1)
+		sparse, sparseTrace := runSharded(t, cfg, protocol, 0, true)
+		restore()
+		if !reflect.DeepEqual(dense, sparse) {
+			t.Errorf("%s: sparse audibility changed the run", protocol)
+		}
+		if !bytes.Equal(denseTrace, sparseTrace) {
+			t.Errorf("%s: sparse audibility changed the trace", protocol)
+		}
+	}
+}

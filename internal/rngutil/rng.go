@@ -66,6 +66,17 @@ func (r *Stream) Uint64() uint64 {
 // after construction is irrelevant: Sub depends on r's current state, so
 // derive all sub-streams up front for strict reproducibility.
 func (r *Stream) Sub(key uint64) *Stream {
+	out := r.SubValue(key)
+	return &out
+}
+
+// SubValue is Sub returning the derived stream by value, for hot paths
+// that derive a fresh keyed stream per entity per step (the sharded
+// engine derives one per receiver per slot) and cannot afford a heap
+// allocation each time. Derivation only reads r's state, so concurrent
+// SubValue calls on a shared parent are safe as long as nothing mutates
+// the parent concurrently.
+func (r *Stream) SubValue(key uint64) Stream {
 	st := r.s[0] ^ bits.RotateLeft64(r.s[1], 13) ^ (key * 0x9e3779b97f4a7c15)
 	st ^= key + 0x6a09e667f3bcc909
 	var out Stream
@@ -75,7 +86,7 @@ func (r *Stream) Sub(key uint64) *Stream {
 	if out.s[0]|out.s[1]|out.s[2]|out.s[3] == 0 {
 		out.s[0] = 0x41c64e6d
 	}
-	return &out
+	return out
 }
 
 // SubName returns a sub-stream keyed by a string, for named components

@@ -1,0 +1,39 @@
+package runner_test
+
+import (
+	"runtime"
+	"testing"
+
+	"ldcflood/internal/runner"
+)
+
+func TestSplitParallelism(t *testing.T) {
+	cases := []struct {
+		budget, jobs         int
+		wantBatch, wantShard int
+	}{
+		{8, 16, 8, 1}, // more jobs than budget: all parallelism at the batch layer
+		{8, 8, 8, 1},  // exact fit
+		{8, 2, 2, 4},  // few jobs: leftover budget multiplies into shards
+		{8, 3, 3, 2},  // non-divisible: floor, never oversubscribe
+		{4, 1, 1, 4},  // single job: everything to the engine
+		{1, 5, 1, 1},  // single core: serial everywhere
+		{6, 0, 1, 6},  // jobs clamped to 1
+	}
+	for _, c := range cases {
+		batch, shard := runner.SplitParallelism(c.budget, c.jobs)
+		if batch != c.wantBatch || shard != c.wantShard {
+			t.Errorf("SplitParallelism(%d, %d) = (%d, %d), want (%d, %d)",
+				c.budget, c.jobs, batch, shard, c.wantBatch, c.wantShard)
+		}
+		if batch*shard > c.budget && c.budget >= 1 {
+			t.Errorf("SplitParallelism(%d, %d) oversubscribes: %d * %d", c.budget, c.jobs, batch, shard)
+		}
+	}
+	// budget <= 0 resolves to GOMAXPROCS.
+	batch, shard := runner.SplitParallelism(0, 1)
+	if batch != 1 || shard != runtime.GOMAXPROCS(0) {
+		t.Errorf("SplitParallelism(0, 1) = (%d, %d), want (1, GOMAXPROCS=%d)",
+			batch, shard, runtime.GOMAXPROCS(0))
+	}
+}

@@ -31,9 +31,17 @@ type compactPlan struct {
 	// can occur while any node still misses a packet.
 	pairOff []bool
 	// adj is the graph's adjacency bitset, reused by the fast state's
-	// per-delivery relevance sweeps.
+	// per-delivery relevance sweeps. It costs O(n²/8) memory, so it is nil
+	// for graphs of compactSparseNodes nodes or more; csr then serves the
+	// same queries by row walks, keeping the plan O(n+m) at 100k nodes.
 	adj [][]uint64
+	csr *topology.CSR
 }
+
+// compactSparseNodes is the node count at which the compact plan switches
+// from the dense adjacency bitset to CSR row walks. A variable so the
+// equivalence tests can force the sparse structure on small graphs.
+var compactSparseNodes = 2048
 
 // newCompactPlan builds the offset buckets for the given schedule table, or
 // returns nil when the hyperperiod exceeds compactMaxHyperperiod (the
@@ -95,24 +103,46 @@ func newCompactPlan(g *topology.Graph, scheds []*schedule.Schedule) *compactPlan
 			}
 		}
 	}
-	adj := g.AdjacencyBitset()
-	plan.adj = adj
 	words := (n + 63) / 64
 	member := make([]uint64, words)
+	if n < compactSparseNodes {
+		adj := g.AdjacencyBitset()
+		plan.adj = adj
+		for o, bucket := range plan.buckets {
+			for _, v := range bucket {
+				member[v>>6] |= 1 << (uint(v) & 63)
+			}
+			for _, v := range bucket {
+				row := adj[v]
+				for w := range member {
+					if row[w]&member[w] != 0 {
+						plan.pairOff[o] = true
+						break
+					}
+				}
+				if plan.pairOff[o] {
+					break
+				}
+			}
+			for _, v := range bucket {
+				member[v>>6] = 0
+			}
+		}
+		return plan
+	}
+	plan.csr = g.CSR()
 	for o, bucket := range plan.buckets {
 		for _, v := range bucket {
 			member[v>>6] |= 1 << (uint(v) & 63)
 		}
+	scan:
 		for _, v := range bucket {
-			row := adj[v]
-			for w := range member {
-				if row[w]&member[w] != 0 {
+			row, _ := plan.csr.Row(int(v))
+			for _, u := range row {
+				if member[u>>6]&(1<<(uint(u)&63)) != 0 {
 					plan.pairOff[o] = true
-					break
+					break scan
 				}
-			}
-			if plan.pairOff[o] {
-				break
 			}
 		}
 		for _, v := range bucket {
@@ -187,16 +217,27 @@ func (fs *fastState) noteDeliver(p, node int) {
 	if w.heldCount[node] == w.injected {
 		fs.satCount++
 	}
-	// Not-yet-relevant neighbors of node: a few word operations instead of
-	// a walk over the full adjacency list (mid-flood, almost every
-	// neighbor is already relevant and the candidate words are zero).
-	row := fs.plan.adj[node]
-	for wi, aw := range row {
-		cand := aw &^ fs.relevantBits[wi]
-		for cand != 0 {
-			u := wi<<6 + bits.TrailingZeros64(cand)
-			cand &= cand - 1
-			if !w.Has(p, u) {
+	// Not-yet-relevant neighbors of node. Dense plans sweep the adjacency
+	// bitset — a few word operations, since mid-flood almost every neighbor
+	// is already relevant and the candidate words are zero. Sparse plans
+	// (large graphs) walk the O(degree) CSR row instead.
+	if fs.plan.adj != nil {
+		row := fs.plan.adj[node]
+		for wi, aw := range row {
+			cand := aw &^ fs.relevantBits[wi]
+			for cand != 0 {
+				u := wi<<6 + bits.TrailingZeros64(cand)
+				cand &= cand - 1
+				if !w.Has(p, u) {
+					fs.setRelevant(u, true)
+				}
+			}
+		}
+	} else {
+		row, _ := fs.plan.csr.Row(node)
+		for _, u32 := range row {
+			u := int(u32)
+			if !fs.relevant[u] && !w.Has(p, u) {
 				fs.setRelevant(u, true)
 			}
 		}

@@ -9,6 +9,7 @@ import (
 	"ldcflood/internal/fault"
 	"ldcflood/internal/rngutil"
 	"ldcflood/internal/schedule"
+	"ldcflood/internal/topology"
 )
 
 // ErrInterrupted is wrapped by the error Run returns when a
@@ -54,8 +55,20 @@ type engine struct {
 
 	// linkPRR is a dense n×n PRR matrix (-1 for absent links) giving the
 	// hot loop O(1) link checks instead of adjacency scans; nil when n
-	// exceeds maxDensePRRNodes, falling back to Graph lookups.
+	// exceeds maxDensePRRNodes, falling back to CSR lookups.
 	linkPRR []float64
+	// csr is the graph's flat adjacency view, set whenever linkPRR is nil
+	// (large graphs) or the sharded mode is active (its overhearing phase
+	// iterates neighbor rows). Shared, read-only.
+	csr *topology.CSR
+
+	// Sharded execution mode (Config.Workers >= 1). shardRoot seeds the
+	// per-slot stream tree; slotStream is re-derived serially at the top of
+	// every sharded slot and only read by workers. See shard.go.
+	workers    int
+	pool       *shardPool
+	shardRoot  *rngutil.Stream
+	slotStream rngutil.Stream
 
 	// Fault injection (nil/empty when Config.Faults is unset, in which
 	// case every hook below is a single nil or length check in the hot
@@ -81,6 +94,14 @@ type engine struct {
 	recvNow     []bool
 	txTouched   []int // nodes whose transmitting flag was set this slot
 	recvTouched []int // nodes whose recvNow flag was set this slot
+
+	// Sharded-mode scratch: rxRec[i] is the decision record for rxList[i],
+	// ohRec[k] the overhearing outcome for awakeList[k], and senderSuccess
+	// maps a sender to its index in successes (-1 otherwise), reset sparsely
+	// after every slot. Workers write disjoint indices; merges are serial.
+	rxRec         []rxRecord
+	ohRec         []int32
+	senderSuccess []int32
 }
 
 // Run executes one simulation until every packet reaches the coverage
@@ -192,11 +213,26 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 		e.linkPRR = m
+	} else {
+		e.csr = cfg.Graph.CSR()
+	}
+	if cfg.Workers > 0 {
+		e.workers = cfg.Workers
+		if e.csr == nil {
+			e.csr = cfg.Graph.CSR()
+		}
+		e.shardRoot = root.SubName("shard")
+		e.senderSuccess = make([]int32, n)
+		for i := range e.senderSuccess {
+			e.senderSuccess[i] = -1
+		}
+		e.pool = newShardPool(e.workers)
+		defer e.pool.close()
 	}
 
 	plan := e.planCompact()
 	if cfg.Telemetry != nil {
-		e.tel = newSimTel(cfg.Telemetry, plan != nil)
+		e.tel = newSimTel(cfg.Telemetry, plan != nil, e.workers)
 	}
 	var runErr error
 	if plan != nil {
@@ -226,11 +262,13 @@ func Run(cfg Config) (*Result, error) {
 }
 
 // maxDensePRRNodes caps the engine's dense link-PRR matrix at n² float64s
-// (8 MB at the cap); larger graphs use Graph's adjacency lookups.
-const maxDensePRRNodes = 1024
+// (8 MB at the cap); larger graphs use CSR binary-search lookups, keeping
+// the engine's memory O(n+m). A variable so white-box tests can force the
+// sparse regime on small graphs.
+var maxDensePRRNodes = 1024
 
 // prr returns the link PRR of (u, v), or 0 when unlinked — Graph.PRR
-// semantics through the dense matrix when available.
+// semantics through the dense matrix when available, the CSR otherwise.
 func (e *engine) prr(u, v int) float64 {
 	if e.linkPRR != nil {
 		if p := e.linkPRR[u*e.n+v]; p >= 0 {
@@ -238,7 +276,7 @@ func (e *engine) prr(u, v int) float64 {
 		}
 		return 0
 	}
-	return e.cfg.Graph.PRR(u, v)
+	return e.csr.PRROf(u, v)
 }
 
 // effPRR returns the PRR of link (u, v) at the current slot, after any
@@ -274,7 +312,7 @@ func (e *engine) hasLink(u, v int) bool {
 	if e.linkPRR != nil {
 		return e.linkPRR[u*e.n+v] >= 0
 	}
-	return e.cfg.Graph.HasLink(u, v)
+	return e.csr.HasLink(u, v)
 }
 
 // planCompact decides whether the compact-time fast path applies and, if
@@ -314,11 +352,17 @@ func (e *engine) inject(t int64) {
 	}
 }
 
-// runSlots is the reference execution path: iterate every wall-clock slot,
-// recomputing the awake set with an O(n) schedule scan. It supports every
-// Config feature, including Adapt.
+// runSlots is the reference execution path: iterate every wall-clock slot.
+// It supports every Config feature, including Adapt. The awake set is
+// recomputed each slot with an O(n) schedule scan — except in sharded mode
+// with static schedules, where precomputed hyperperiod buckets make the
+// recomputation O(awake); the two produce identical awake sets.
 func (e *engine) runSlots() error {
 	w, res, cfg := e.w, e.res, &e.cfg
+	var plan *awakePlan
+	if e.workers > 0 && cfg.Adapt == nil {
+		plan = newAwakePlan(e.scheds)
+	}
 	for t := int64(0); t < e.maxSlots && e.covered < cfg.M; t++ {
 		if cfg.Interrupt != nil && cfg.Interrupt(t) {
 			return e.interruptErr(t)
@@ -336,16 +380,31 @@ func (e *engine) runSlots() error {
 			}
 		}
 		// Awake set. Crashed nodes stay dormant regardless of schedule.
-		w.awakeList = w.awakeList[:0]
-		for i := 0; i < e.n; i++ {
-			a := e.scheds[i].IsActive(t) && !e.crashed[i]
-			w.awake[i] = a
-			if a {
-				w.awakeList = append(w.awakeList, i)
+		if plan != nil {
+			for _, i := range w.awakeList {
+				w.awake[i] = false
+			}
+			w.awakeList = w.awakeList[:0]
+			for _, i := range plan.buckets[t%plan.L] {
+				if e.crashed[i] {
+					continue
+				}
+				w.awake[i] = true
+				w.awakeList = append(w.awakeList, int(i))
 				res.AwakeSlotsPerNode[i]++
 			}
+		} else {
+			w.awakeList = w.awakeList[:0]
+			for i := 0; i < e.n; i++ {
+				a := e.scheds[i].IsActive(t) && !e.crashed[i]
+				w.awake[i] = a
+				if a {
+					w.awakeList = append(w.awakeList, i)
+					res.AwakeSlotsPerNode[i]++
+				}
+			}
 		}
-		if err := e.resolveSlot(t); err != nil {
+		if err := e.resolve(t); err != nil {
 			return err
 		}
 		res.TotalSlots = t + 1
@@ -389,7 +448,7 @@ func (e *engine) runCompact(plan *compactPlan) error {
 			w.awake[i] = true
 			w.awakeList = append(w.awakeList, int(i))
 		}
-		if err := e.resolveSlot(t); err != nil {
+		if err := e.resolve(t); err != nil {
 			return err
 		}
 		res.TotalSlots = t + 1
@@ -412,17 +471,27 @@ func (e *engine) runCompact(plan *compactPlan) error {
 	return nil
 }
 
-// resolveSlot runs one slot's protocol round: collect intents, validate
-// them, resolve collisions/losses/capture per receiver, fan out
-// overhearing, and update coverage accounting. The caller must have set
-// w.now and the awake set. Scratch state touched during the slot is
-// cleared before returning, so consecutive calls need no O(n) wipes.
-func (e *engine) resolveSlot(t int64) error {
+// resolve runs one slot's protocol round on the path selected by
+// Config.Workers: the historical serial resolution (Workers == 0) or the
+// sharded discipline (see shard.go). The caller must have set w.now and the
+// awake set.
+func (e *engine) resolve(t int64) error {
+	if e.workers > 0 {
+		return e.resolveSlotSharded(t)
+	}
+	return e.resolveSlot(t)
+}
+
+// collectIntents asks the protocol for this slot's transmissions, validates
+// them, enforces one transmission per sender, applies synchronization-miss
+// draws, and groups the survivors by receiver into the reused per-receiver
+// slices (rxList ascending). Shared verbatim by both resolution paths, so
+// the protocol-facing semantics — including the syncRNG consumption order —
+// are identical under every worker count.
+func (e *engine) collectIntents(t int64) error {
 	w, res, cfg := e.w, e.res, &e.cfg
 
 	intents := cfg.Protocol.Intents(w)
-	// Validate, enforce one transmission per sender, group by receiver
-	// into the reused per-receiver slices.
 	e.rxList = e.rxList[:0]
 	for _, in := range intents {
 		if in.From < 0 || in.From >= e.n || in.To < 0 || in.To >= e.n || in.From == in.To {
@@ -465,6 +534,19 @@ func (e *engine) resolveSlot(t int64) error {
 		e.rxIntents[in.To] = append(e.rxIntents[in.To], in)
 	}
 	slices.Sort(e.rxList)
+	return nil
+}
+
+// resolveSlot is the historical serial slot resolution: collect intents,
+// resolve collisions/losses/capture per receiver drawing from the shared
+// loss stream in slot order, fan out overhearing, and update coverage
+// accounting. Scratch state touched during the slot is cleared before
+// returning, so consecutive calls need no O(n) wipes.
+func (e *engine) resolveSlot(t int64) error {
+	w, res, cfg := e.w, e.res, &e.cfg
+	if err := e.collectIntents(t); err != nil {
+		return err
+	}
 
 	e.successes = e.successes[:0]
 	for _, r := range e.rxList {
@@ -585,7 +667,15 @@ func (e *engine) resolveSlot(t int64) error {
 			}
 		}
 	}
-	// Coverage accounting.
+	e.accountCoverage(t)
+	e.cleanupSlot()
+	return nil
+}
+
+// accountCoverage latches per-packet coverage and first-hop milestones
+// reached by this slot's deliveries.
+func (e *engine) accountCoverage(t int64) {
+	w, res, cfg := e.w, e.res, &e.cfg
 	for p := 0; p < w.injected; p++ {
 		if res.CoverTime[p] == -1 && w.count[p] >= e.coverNodes {
 			res.CoverTime[p] = t
@@ -599,7 +689,12 @@ func (e *engine) resolveSlot(t int64) error {
 			res.FirstHopDelay[p] = t - res.InjectTime[p]
 		}
 	}
-	// Slot cleanup: reset exactly the scratch entries this slot touched.
+}
+
+// cleanupSlot resets exactly the scratch entries this slot touched, so
+// consecutive slots need no O(n) wipes.
+func (e *engine) cleanupSlot() {
+	w := e.w
 	for _, r := range e.rxList {
 		e.targeted[r] = false
 		e.rxIntents[r] = e.rxIntents[r][:0]
@@ -612,7 +707,6 @@ func (e *engine) resolveSlot(t int64) error {
 		e.recvNow[i] = false
 	}
 	e.recvTouched = e.recvTouched[:0]
-	return nil
 }
 
 // deliverNow records an in-slot reception: the packet is delivered and the

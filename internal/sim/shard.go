@@ -1,0 +1,402 @@
+package sim
+
+// Sharded slot resolution (Config.Workers >= 1): the large-topology
+// execution mode. The serial engine draws every delivery decision from one
+// shared loss stream in slot order, which makes the decisions inherently
+// sequential — the position of a draw depends on the outcome of every draw
+// before it. The sharded discipline re-keys that randomness: each receiver
+// (and each potential overhearer) derives a private stream from (run seed,
+// slot, node) and consumes only it, so the per-node decisions are pure
+// functions of pre-slot state and can be evaluated concurrently by a
+// bounded worker pool, then merged in a fixed ascending-node order. Results
+// are bit-for-bit identical for every worker count; they differ from the
+// Workers == 0 stream by construction (the shared-stream draw order cannot
+// be reproduced shard-locally).
+//
+// A slot resolves in phases:
+//
+//	A (serial)   faults, injection, chain Sync, awake set — in the caller.
+//	B (serial)   protocol intents + validation (collectIntents; syncRNG
+//	             stays a shared sequential stream, drawn here).
+//	C (parallel) per-receiver delivery decisions into rxRec.
+//	D (serial)   merge rxRec in ascending receiver order: counters,
+//	             deliveries, Observer callbacks.
+//	E (parallel) per-node overhearing decisions into ohRec.
+//	F (serial)   merge ohRec in ascending node order, then shared coverage
+//	             accounting and scratch cleanup.
+
+import (
+	"sync"
+
+	"ldcflood/internal/schedule"
+)
+
+// rxKind classifies a receiver's slot outcome, mirroring the serial
+// engine's per-receiver switch.
+type rxKind uint8
+
+const (
+	rxJam rxKind = iota
+	rxBusy
+	rxCollision // collision with no capture
+	rxCapture   // capture effect salvaged deliverIdx
+	rxSeq       // sequential attempts; deliverIdx is the first success
+)
+
+// rxRecord is one receiver's delivery decision, produced by a worker in
+// phase C and applied serially in phase D.
+type rxRecord struct {
+	kind rxKind
+	// deliverIdx indexes the delivered intent within the receiver's intent
+	// group, or -1 when nothing was decoded.
+	deliverIdx int32
+}
+
+// debugMinChunk is the smallest shard a runShards call hands to a worker.
+// The default amortizes channel handoff over a useful batch of nodes; the
+// adversarial stress test lowers it to 1 to force maximal interleaving.
+// Chunk geometry never affects results — decisions are keyed per node.
+var debugMinChunk = 64
+
+// shardPool is a bounded set of persistent workers executing index-range
+// shards. The submitting goroutine always works on the first shard itself,
+// so a pool of w workers runs w-1 goroutines.
+type shardPool struct {
+	workers int
+	tasks   chan shardTask
+}
+
+type shardTask struct {
+	lo, hi int
+	fn     func(lo, hi int)
+	wg     *sync.WaitGroup
+}
+
+func newShardPool(workers int) *shardPool {
+	// Buffer for the worst case (workers-1 queued shards) so submission
+	// never blocks and runShards cannot deadlock against a busy pool.
+	p := &shardPool{workers: workers, tasks: make(chan shardTask, workers)}
+	for i := 0; i < workers-1; i++ {
+		go p.run()
+	}
+	return p
+}
+
+func (p *shardPool) run() {
+	for t := range p.tasks {
+		t.fn(t.lo, t.hi)
+		t.wg.Done()
+	}
+}
+
+func (p *shardPool) close() { close(p.tasks) }
+
+// runShards partitions [0, count) into per-worker chunks (never smaller
+// than debugMinChunk) and runs fn over them concurrently, returning when
+// every index is processed. fn must write only to indices in its range.
+func (p *shardPool) runShards(count int, fn func(lo, hi int)) {
+	if count <= 0 {
+		return
+	}
+	chunk := (count + p.workers - 1) / p.workers
+	if chunk < debugMinChunk {
+		chunk = debugMinChunk
+	}
+	if p.workers == 1 || count <= chunk {
+		fn(0, count)
+		return
+	}
+	var wg sync.WaitGroup
+	for lo := chunk; lo < count; lo += chunk {
+		hi := lo + chunk
+		if hi > count {
+			hi = count
+		}
+		wg.Add(1)
+		p.tasks <- shardTask{lo: lo, hi: hi, fn: fn, wg: &wg}
+	}
+	fn(0, chunk)
+	wg.Wait()
+}
+
+// awakePlan precomputes per-offset awake buckets over the schedule
+// hyperperiod, so the sharded reference path recomputes the awake set in
+// O(awake) per slot instead of an O(n) scan — at 100k nodes and 1% duty
+// that is the difference between touching 100k and ~1k schedule entries
+// per slot. Unlike compactPlan it carries no adjacency structure, so it
+// stays O(n + L·awake) in memory at any scale.
+type awakePlan struct {
+	L       int64
+	buckets [][]int32
+}
+
+// newAwakePlan builds the offset buckets, or returns nil when the
+// hyperperiod exceeds compactMaxHyperperiod (the caller then scans).
+func newAwakePlan(scheds []*schedule.Schedule) *awakePlan {
+	L := 1
+	for _, s := range scheds {
+		L = lcm(L, s.Period())
+		if L > compactMaxHyperperiod {
+			return nil
+		}
+	}
+	plan := &awakePlan{L: int64(L), buckets: make([][]int32, L)}
+	counts := make([]int32, L)
+	total := 0
+	for _, s := range scheds {
+		total += len(s.ActiveSlots()) * (L / s.Period())
+		for _, off := range s.ActiveSlots() {
+			for base := off; base < L; base += s.Period() {
+				counts[base]++
+			}
+		}
+	}
+	backing := make([]int32, total)
+	pos := 0
+	for o := range plan.buckets {
+		c := int(counts[o])
+		if c == 0 {
+			continue
+		}
+		plan.buckets[o] = backing[pos : pos : pos+c]
+		pos += c
+	}
+	// Ascending node order per bucket, matching the serial scan's
+	// AwakeList order.
+	for i, s := range scheds {
+		for _, off := range s.ActiveSlots() {
+			for base := off; base < L; base += s.Period() {
+				plan.buckets[base] = append(plan.buckets[base], int32(i))
+			}
+		}
+	}
+	return plan
+}
+
+// resolveSlotSharded is the sharded counterpart of resolveSlot. See the
+// package comment at the top of this file for the phase structure.
+func (e *engine) resolveSlotSharded(t int64) error {
+	w, res, cfg := e.w, e.res, &e.cfg
+
+	// Phase A tail: advance every fault chain to t now, serially, so the
+	// workers' effPRR queries below are pure reads.
+	if e.inj != nil {
+		e.inj.Sync(t)
+	}
+	// The slot's stream subtree root. Written here (serially), only read
+	// by workers.
+	e.slotStream = e.shardRoot.SubValue(uint64(t))
+
+	// Phase B.
+	if err := e.collectIntents(t); err != nil {
+		return err
+	}
+
+	// Phase C: every targeted receiver decides its outcome from its
+	// private (seed, slot, receiver) stream.
+	if cap(e.rxRec) < len(e.rxList) {
+		e.rxRec = make([]rxRecord, len(e.rxList))
+	}
+	e.rxRec = e.rxRec[:len(e.rxList)]
+	e.pool.runShards(len(e.rxList), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e.decideReceiver(i, t)
+		}
+	})
+
+	// Phase D: apply the records in ascending receiver order — the same
+	// order the serial path visits receivers — so counters, deliveries and
+	// Observer callbacks are deterministic.
+	e.successes = e.successes[:0]
+	for i, r := range e.rxList {
+		txs := e.rxIntents[r]
+		res.Transmissions += len(txs)
+		for _, tx := range txs {
+			res.TxPerNode[tx.From]++
+		}
+		e.targeted[r] = true
+		rec := e.rxRec[i]
+		switch rec.kind {
+		case rxJam:
+			res.JamFailures += len(txs)
+			if cfg.Observer != nil {
+				for _, tx := range txs {
+					cfg.Observer.OnTransmit(t, tx.From, r, tx.Packet, TxJammed)
+				}
+			}
+		case rxBusy:
+			res.BusyFailures += len(txs)
+			if cfg.Observer != nil {
+				for _, tx := range txs {
+					cfg.Observer.OnTransmit(t, tx.From, r, tx.Packet, TxBusy)
+				}
+			}
+		case rxCollision:
+			res.CollisionFailures += len(txs)
+			if cfg.Observer != nil {
+				for _, tx := range txs {
+					cfg.Observer.OnTransmit(t, tx.From, r, tx.Packet, TxCollision)
+				}
+			}
+		case rxCapture:
+			best := txs[rec.deliverIdx]
+			res.Captures++
+			e.deliverNow(best.Packet, r, t)
+			e.successes = append(e.successes, success{best.From, r, best.Packet})
+			res.CollisionFailures += len(txs) - 1
+			if cfg.Observer != nil {
+				for j, tx := range txs {
+					outcome := TxCollision
+					if j == int(rec.deliverIdx) {
+						outcome = TxSuccess
+					}
+					cfg.Observer.OnTransmit(t, tx.From, r, tx.Packet, outcome)
+				}
+			}
+		case rxSeq:
+			if rec.deliverIdx < 0 {
+				res.LossFailures += len(txs)
+				if cfg.Observer != nil {
+					for _, tx := range txs {
+						cfg.Observer.OnTransmit(t, tx.From, r, tx.Packet, TxLoss)
+					}
+				}
+			} else {
+				got := txs[rec.deliverIdx]
+				res.LossFailures += len(txs) - 1
+				e.deliverNow(got.Packet, r, t)
+				e.successes = append(e.successes, success{got.From, r, got.Packet})
+				if cfg.Observer != nil {
+					for j, tx := range txs {
+						outcome := TxSuccess
+						if j < int(rec.deliverIdx) {
+							outcome = TxLoss
+						} else if j > int(rec.deliverIdx) {
+							outcome = TxRedundant
+						}
+						cfg.Observer.OnTransmit(t, tx.From, r, tx.Packet, outcome)
+					}
+				}
+			}
+		}
+	}
+
+	// Phases E + F: overhearing. Each awake, silent, non-targeted node
+	// walks its own CSR neighbor row (ascending id) and accepts the first
+	// successful sender it decodes — O(Σ degree(awake)) total, independent
+	// of how many successes the slot produced.
+	if cfg.Protocol.Overhears() && len(e.successes) > 0 {
+		for si, s := range e.successes {
+			e.senderSuccess[s.from] = int32(si)
+		}
+		list := w.awakeList
+		if cap(e.ohRec) < len(list) {
+			e.ohRec = make([]int32, len(list))
+		}
+		e.ohRec = e.ohRec[:len(list)]
+		e.pool.runShards(len(list), func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				e.decideOverhear(k, t)
+			}
+		})
+		for k, si := range e.ohRec {
+			if si < 0 {
+				continue
+			}
+			s := e.successes[si]
+			o := list[k]
+			e.deliverNow(s.packet, o, t)
+			res.Overheard++
+			if cfg.Observer != nil {
+				cfg.Observer.OnOverhear(t, s.from, o, s.packet)
+			}
+		}
+		for _, s := range e.successes {
+			e.senderSuccess[s.from] = -1
+		}
+	}
+
+	e.accountCoverage(t)
+	e.cleanupSlot()
+	return nil
+}
+
+// decideReceiver computes rxRec[i]: the outcome at receiver rxList[i],
+// drawing only from the receiver's keyed stream. Pure with respect to
+// shared state — it reads pre-slot world state and writes one record.
+func (e *engine) decideReceiver(i int, t int64) {
+	cfg := &e.cfg
+	r := e.rxList[i]
+	txs := e.rxIntents[r]
+	rec := rxRecord{deliverIdx: -1}
+	switch {
+	case e.inj != nil && e.inj.Jammed(t, r):
+		rec.kind = rxJam
+	case e.w.transmitting[r]:
+		rec.kind = rxBusy
+	case len(txs) > 1 && cfg.Protocol.CollisionsApply():
+		rec.kind = rxCollision
+		if cfg.CaptureProb > 0 {
+			rng := e.slotStream.SubValue(uint64(r) * 2)
+			if rng.Bool(cfg.CaptureProb) {
+				best := 0
+				for j := 1; j < len(txs); j++ {
+					if e.effPRR(txs[j].From, r) > e.effPRR(txs[best].From, r) {
+						best = j
+					}
+				}
+				if rng.Bool(e.effPRR(txs[best].From, r)) {
+					rec.kind = rxCapture
+					rec.deliverIdx = int32(best)
+				}
+			}
+		}
+	default:
+		rec.kind = rxSeq
+		rng := e.slotStream.SubValue(uint64(r) * 2)
+		for j := range txs {
+			if rng.Bool(e.effPRR(txs[j].From, r)) {
+				rec.deliverIdx = int32(j)
+				break
+			}
+		}
+	}
+	e.rxRec[i] = rec
+}
+
+// decideOverhear computes ohRec[k]: whether awake node awakeList[k]
+// overhears one of this slot's successful senders, and which (an index
+// into successes, -1 for none). Draws come from the node's keyed stream;
+// candidates are the node's neighbors in ascending id order and the first
+// decode wins, matching the serial rule that a node receives at most once
+// per slot.
+func (e *engine) decideOverhear(k int, t int64) {
+	w := e.w
+	o := w.awakeList[k]
+	e.ohRec[k] = -1
+	if e.targeted[o] || w.transmitting[o] || e.recvNow[o] {
+		return
+	}
+	if e.inj != nil && e.inj.Jammed(t, o) {
+		return
+	}
+	row, prrs := e.csr.Row(o)
+	rng := e.slotStream.SubValue(uint64(o)*2 + 1)
+	for j, nb := range row {
+		si := e.senderSuccess[nb]
+		if si < 0 {
+			continue
+		}
+		p := prrs[j]
+		if e.inj != nil {
+			p *= e.inj.LinkScale(t, int(nb), o)
+		}
+		if p <= 0 || w.Has(e.successes[si].packet, o) {
+			continue
+		}
+		if rng.Bool(p) {
+			e.ohRec[k] = si
+			return
+		}
+	}
+}

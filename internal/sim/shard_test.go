@@ -1,0 +1,306 @@
+package sim
+
+// Certification of the sharded execution mode (Config.Workers >= 1):
+// worker-count invariance, node-relabeling invariance on the RNG-free
+// subspace, equivalence of the forced large-graph data structures, and an
+// adversarial stress shape for the race detector.
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"ldcflood/internal/fault"
+	"ldcflood/internal/rngutil"
+	"ldcflood/internal/schedule"
+	"ldcflood/internal/topology"
+)
+
+// chaosRun builds a fresh randomized-but-valid configuration from seed and
+// runs it with the given worker count and time mode. Everything — graph,
+// schedules, protocol stream, fault schedule — is re-derived from the seed
+// so repeated calls are exact replicas differing only in the knobs.
+func chaosRun(t *testing.T, seed uint64, workers int, compact bool) *Result {
+	t.Helper()
+	r := rngutil.New(seed)
+	g := randomConnectedGraph(r)
+	n := g.N()
+	proto := &chaosProtocol{
+		rng:      r.SubName("chaos"),
+		density:  0.1 + 0.8*r.Float64(),
+		collide:  r.Bool(0.5),
+		overhear: r.Bool(0.5),
+	}
+	var faults *fault.Schedule
+	switch seed % 4 {
+	case 1: // static random-subset degradation
+		faults = &fault.Schedule{Links: []fault.LinkRule{{BadScale: 0.4, StartBad: 0.5}}}
+	case 2: // moving chains plus a jam window
+		faults = &fault.Schedule{
+			Links: []fault.LinkRule{{PGB: 0.05, PBG: 0.2, BadScale: 0.3}},
+			Jams:  []fault.Jam{{From: 40, Until: 90, Nodes: []int{1, 2}}},
+		}
+	case 3: // crash/reboot churn plus chains
+		faults = &fault.Schedule{
+			Links:   []fault.LinkRule{{PGB: 0.03, PBG: 0.3, BadScale: 0.5, StartBad: 0.2}},
+			Crashes: []fault.Crash{{Node: 1 + int(seed)%(n-1), At: 50, RebootAt: 140}},
+		}
+	}
+	res, err := Run(Config{
+		Graph:            g,
+		Schedules:        schedule.AssignUniform(n, 1+int(seed%8), r.SubName("schedule")),
+		Protocol:         proto,
+		M:                1 + int(seed%4),
+		Coverage:         1,
+		Seed:             seed,
+		MaxSlots:         20000,
+		SyncErrorProb:    0.05,
+		CaptureProb:      0.4,
+		RecordReceptions: true,
+		Faults:           faults,
+		Workers:          workers,
+		CompactTime:      compact,
+	})
+	if err != nil {
+		t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+	}
+	return res
+}
+
+// TestWorkerCountInvariance is the sharded mode's core determinism
+// property: for any valid configuration — chaotic protocol behaviour,
+// every fault-schedule family, capture, sync errors — the full Result is
+// bit-for-bit identical for every worker count, on both time paths.
+func TestWorkerCountInvariance(t *testing.T) {
+	for seed := uint64(0); seed < 24; seed++ {
+		base := chaosRun(t, seed, 1, false)
+		for _, workers := range []int{2, 3, 8} {
+			if got := chaosRun(t, seed, workers, false); !reflect.DeepEqual(got, base) {
+				t.Fatalf("seed %d: workers %d diverged from workers 1", seed, workers)
+			}
+		}
+		cbase := chaosRun(t, seed, 1, true)
+		if got := chaosRun(t, seed, 4, true); !reflect.DeepEqual(got, cbase) {
+			t.Fatalf("seed %d: compact workers 4 diverged from compact workers 1", seed)
+		}
+	}
+}
+
+// relabelProtocol is a deterministic, RNG-free, permutation-equivariant
+// strategy: every awake receiver picks the neighbor holding its FCFS packet
+// with the earliest reception time (ties: no transmission — a tie is a
+// label-independent condition, picking either side would not be), and
+// senders chosen by more than one receiver stand down. Its decisions depend
+// only on graph structure and reception history, never on node labels or
+// random draws, so relabeling the nodes relabels the outcome.
+func relabelProtocol() *FuncProtocol {
+	return &FuncProtocol{
+		ProtocolName: "relabel-equivariant",
+		Collisions:   true,
+		Overhearing:  true,
+		IntentsFunc: func(w *World) []Intent {
+			type pick struct{ from, to, pkt int }
+			var picks []pick
+			senderCount := make([]int, w.Graph.N())
+			for _, r := range w.AwakeList() {
+				bestFrom, bestPkt := -1, -1
+				bestTime := int64(math.MaxInt64)
+				tie := false
+				for _, l := range w.Graph.Neighbors(r) {
+					pkt := w.OldestNeeded(l.To, r)
+					if pkt < 0 {
+						continue
+					}
+					rt := w.RecvTime(pkt, l.To)
+					if rt < bestTime {
+						bestFrom, bestPkt, bestTime, tie = l.To, pkt, rt, false
+					} else if rt == bestTime {
+						tie = true
+					}
+				}
+				if bestFrom >= 0 && !tie {
+					picks = append(picks, pick{bestFrom, r, bestPkt})
+					senderCount[bestFrom]++
+				}
+			}
+			var out []Intent
+			for _, p := range picks {
+				if senderCount[p.from] == 1 {
+					out = append(out, Intent{From: p.from, To: p.to, Packet: p.pkt})
+				}
+			}
+			return out
+		},
+	}
+}
+
+// TestRelabelingInvariance checks metamorphic permutation invariance on the
+// RNG-free subspace (PRR 1 everywhere, so no loss draw is ever consumed;
+// the protocol consumes none by construction): permuting node labels — with
+// the source fixed, since injection is defined at node 0 — must permute the
+// per-node results and leave every aggregate untouched, under the serial
+// path, the sharded path, and both time modes. For the sharded path this
+// pins down that the (slot, node)-keyed streams never leak label-dependent
+// randomness into an otherwise deterministic run.
+func TestRelabelingInvariance(t *testing.T) {
+	const n, period = 40, 5
+	build := func(perm []int) (*topology.Graph, []*schedule.Schedule) {
+		g := topology.New(n)
+		for i := 0; i+1 < n; i++ {
+			g.AddLink(perm[i], perm[i+1], 1)
+		}
+		g.SortNeighbors()
+		scheds := make([]*schedule.Schedule, n)
+		for i := 0; i < n; i++ {
+			scheds[perm[i]] = schedule.NewSingleSlot(period, i%period)
+		}
+		return g, scheds
+	}
+	run := func(perm []int, workers int, compact bool) *Result {
+		g, scheds := build(perm)
+		res, err := Run(Config{
+			Graph:            g,
+			Schedules:        scheds,
+			Protocol:         relabelProtocol(),
+			M:                1,
+			Coverage:         1,
+			Seed:             7,
+			MaxSlots:         20000,
+			RecordReceptions: true,
+			Workers:          workers,
+			CompactTime:      compact,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Completed {
+			t.Fatal("relabeling run did not complete")
+		}
+		return res
+	}
+
+	id := make([]int, n)
+	for i := range id {
+		id[i] = i
+	}
+	base := run(id, 0, false)
+
+	// The permutation fixes the source and scrambles everything else.
+	perm := make([]int, n)
+	perm[0] = 0
+	shuffled := rngutil.New(99).Perm(n - 1)
+	for i, v := range shuffled {
+		perm[i+1] = v + 1
+	}
+
+	for _, mode := range []struct {
+		name    string
+		workers int
+		compact bool
+	}{
+		{"serial", 0, false},
+		{"sharded-4", 4, false},
+		{"serial-compact", 0, true},
+		{"sharded-4-compact", 4, true},
+	} {
+		got := run(perm, mode.workers, mode.compact)
+		// Aggregates are label-free.
+		if got.Transmissions != base.Transmissions || got.Overheard != base.Overheard ||
+			got.TotalSlots != base.TotalSlots || !reflect.DeepEqual(got.Delay, base.Delay) ||
+			!reflect.DeepEqual(got.CoverTime, base.CoverTime) {
+			t.Fatalf("%s: aggregates changed under relabeling", mode.name)
+		}
+		// Per-node vectors map through the permutation.
+		for i := 0; i < n; i++ {
+			if got.TxPerNode[perm[i]] != base.TxPerNode[i] {
+				t.Fatalf("%s: TxPerNode[σ(%d)] = %d, want %d",
+					mode.name, i, got.TxPerNode[perm[i]], base.TxPerNode[i])
+			}
+			if got.AwakeSlotsPerNode[perm[i]] != base.AwakeSlotsPerNode[i] {
+				t.Fatalf("%s: AwakeSlots[σ(%d)] mismatch", mode.name, i)
+			}
+			if got.NodeRecvTime[0][perm[i]] != base.NodeRecvTime[0][i] {
+				t.Fatalf("%s: NodeRecvTime[σ(%d)] = %d, want %d",
+					mode.name, i, got.NodeRecvTime[0][perm[i]], base.NodeRecvTime[0][i])
+			}
+		}
+		// The identity labeling must also reproduce base exactly on every
+		// mode — the RNG-free subspace makes all paths coincide.
+		if gotID := run(id, mode.workers, mode.compact); !reflect.DeepEqual(gotID, base) {
+			t.Fatalf("%s: identity run differs from serial base", mode.name)
+		}
+	}
+}
+
+// TestForcedLargeGraphStructures certifies the scale substitutions are
+// RNG-neutral: forcing the CSR link-lookup path (dense matrix disabled) and
+// the compact plan's sparse adjacency on a small graph reproduces the dense
+// structures' results bit-for-bit, serial and sharded alike.
+func TestForcedLargeGraphStructures(t *testing.T) {
+	seeds := []uint64{2, 5, 11}
+	for _, seed := range seeds {
+		dense := chaosRun(t, seed, 0, false)
+		denseC := chaosRun(t, seed, 0, true)
+		denseW := chaosRun(t, seed, 4, false)
+		restore := setDenseLimit(0)
+		restoreC := setCompactSparse(1)
+		if got := chaosRun(t, seed, 0, false); !reflect.DeepEqual(got, dense) {
+			t.Fatalf("seed %d: CSR-backed serial run diverged from dense", seed)
+		}
+		if got := chaosRun(t, seed, 0, true); !reflect.DeepEqual(got, denseC) {
+			t.Fatalf("seed %d: sparse compact plan diverged from dense", seed)
+		}
+		if got := chaosRun(t, seed, 4, false); !reflect.DeepEqual(got, denseW) {
+			t.Fatalf("seed %d: CSR-backed sharded run diverged", seed)
+		}
+		restoreC()
+		restore()
+	}
+}
+
+// TestShardedStressTinyChunks is the adversarial shape for `go test -race`:
+// one-node shards maximize worker interleaving over a dense, busy slot
+// structure (every node awake every other slot, heavy intent load, capture,
+// chains, jams, overhearing) for hundreds of slots, and the result must
+// still match the single-worker run exactly.
+func TestShardedStressTinyChunks(t *testing.T) {
+	defer setMinChunk(1)()
+	g := topology.Grid(8, 8, 0.6)
+	n := g.N()
+	scheds := make([]*schedule.Schedule, n)
+	for i := range scheds {
+		scheds[i] = schedule.NewSingleSlot(2, i%2)
+	}
+	run := func(workers int) *Result {
+		res, err := Run(Config{
+			Graph:     g,
+			Schedules: scheds,
+			Protocol: &chaosProtocol{
+				rng:      rngutil.New(123).SubName("chaos"),
+				density:  0.9,
+				collide:  true,
+				overhear: true,
+			},
+			M:                6,
+			Coverage:         1,
+			Seed:             123,
+			MaxSlots:         800,
+			CaptureProb:      0.5,
+			SyncErrorProb:    0.02,
+			RecordReceptions: true,
+			Faults: &fault.Schedule{
+				Links: []fault.LinkRule{{PGB: 0.1, PBG: 0.2, BadScale: 0.3}},
+				Jams:  []fault.Jam{{From: 100, Until: 200, Nodes: []int{5, 6, 7}}},
+			},
+			Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := run(1)
+	if got := run(8); !reflect.DeepEqual(got, base) {
+		t.Fatal("8-worker stress run diverged from 1-worker run")
+	}
+}

@@ -59,13 +59,18 @@ type telPrev struct {
 
 // newSimTel resolves the sim counter set against reg and counts the run
 // start and chosen execution path (compact reports whether the fast path
-// was selected).
-func newSimTel(reg *telemetry.Registry, compact bool) *simTel {
+// was selected; workers > 0 reports the sharded resolution mode, which
+// composes with either path).
+func newSimTel(reg *telemetry.Registry, compact bool, workers int) *simTel {
 	reg.Counter("sim.runs.started").Inc()
 	if compact {
 		reg.Counter("sim.path.compact").Inc()
 	} else {
 		reg.Counter("sim.path.slots").Inc()
+	}
+	if workers > 0 {
+		reg.Counter("sim.path.sharded").Inc()
+		reg.Gauge("sim.workers").Set(int64(workers))
 	}
 	return &simTel{
 		slotsVisited: reg.Counter("sim.slots.visited"),

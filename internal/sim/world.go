@@ -382,6 +382,27 @@ type Config struct {
 	// fan-out); values then aggregate across runs. When nil (the default),
 	// the hot path pays exactly one predictable branch per slot.
 	Telemetry *telemetry.Registry
+	// Workers selects the sharded execution mode for large topologies.
+	//
+	// 0 (the default) runs the historical serial engine: one goroutine,
+	// one shared loss stream drawn in slot order. Its results are
+	// bit-for-bit stable across releases and match every committed golden.
+	//
+	// Workers >= 1 switches the slot resolution to the sharded discipline:
+	// receiver-side delivery decisions and overhearing draws come from
+	// per-node RNG streams keyed by (run seed, slot, node), so they can be
+	// evaluated concurrently by a bounded worker pool and merged in a fixed
+	// order. Results under this discipline are bit-for-bit identical for
+	// every worker count (Workers: 1 and Workers: 8 agree exactly; see the
+	// equivalence suite in internal/flood and property_test.go) but differ
+	// from the Workers: 0 stream, which draws from one sequential stream
+	// whose consumption order cannot be reproduced shard-locally. The
+	// sharded mode also activates the large-topology fast paths (CSR link
+	// lookups, bucketed awake sets), making it the intended configuration
+	// for 10k–100k-node runs even at Workers: 1. Negative values are
+	// rejected; counts beyond the machine's parallelism waste scheduling
+	// overhead but do not change results.
+	Workers int
 	// CompactTime enables the compact-time-scale fast path (the paper's
 	// Section III modeling move: analyze dissemination over active slots
 	// only). The engine precomputes each schedule's periodic active-slot
@@ -440,6 +461,9 @@ func (c *Config) validate() error {
 	}
 	if c.Adapt != nil && c.AdaptEvery <= 0 {
 		return fmt.Errorf("sim: Adapt requires AdaptEvery > 0")
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("sim: negative worker count %d", c.Workers)
 	}
 	if err := c.Faults.Validate(c.Graph); err != nil {
 		return err

@@ -3,6 +3,7 @@ package topology
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"ldcflood/internal/rngutil"
 )
@@ -43,6 +44,29 @@ func DefaultGreenOrbsConfig() GreenOrbsConfig {
 		MaxPRR:    0.95,
 		MaxDegree: 0,
 	}
+}
+
+// ScaledGreenOrbsConfig returns the GreenOrbs calibration scaled to the
+// given node count at constant node density: the field grows with √nodes
+// and the cluster count with the area, while radio, PRR bounds and cluster
+// radius stay fixed — so per-node degree statistics match the 298-node
+// trace and only the network's extent (hop diameter, flooding depth)
+// grows. This is the scale-workload generator behind cmd/topogen -nodes
+// and cmd/engbench -scale (10k–100k nodes); link generation uses the
+// spatial hash, so building a 100k-node instance is O(n).
+func ScaledGreenOrbsConfig(nodes int) GreenOrbsConfig {
+	cfg := DefaultGreenOrbsConfig()
+	if nodes <= 0 {
+		return cfg
+	}
+	factor := float64(nodes) / float64(GreenOrbsNodes)
+	cfg.Nodes = nodes
+	cfg.FieldX *= math.Sqrt(factor)
+	cfg.FieldY *= math.Sqrt(factor)
+	if c := int(math.Round(float64(cfg.Clusters) * factor)); c >= 1 {
+		cfg.Clusters = c
+	}
+	return cfg
 }
 
 // GreenOrbs builds the synthetic 298-node GreenOrbs-like trace with default
@@ -116,33 +140,100 @@ func GenerateGreenOrbs(cfg GreenOrbsConfig, seed uint64) (*Graph, error) {
 	return g, nil
 }
 
+// spatialHashMinNodes is the node count above which linkByDistance and the
+// large-graph connectivity stitcher switch from O(n²) pair scans to the
+// spatial hash. linkByDistance produces byte-identical graphs either way
+// (the hash only prunes pairs the distance cutoff would skip), so for it
+// the threshold is purely a constant-factor tradeoff; the connectivity
+// stitcher's bridge links may differ between the two regimes. A variable,
+// not a const, so the equivalence tests can pin both strategies against
+// each other on the same topology.
+var spatialHashMinNodes = 512
+
+// spatialGrid buckets node indices by ⌊pos/cell⌋ for O(1) neighborhood
+// queries during link generation and connectivity stitching. Cell lists
+// hold node ids in ascending order (nodes are inserted in id order).
+type spatialGrid struct {
+	cell  float64
+	cells map[[2]int32][]int32
+}
+
+// newSpatialGrid builds a grid over pos with the given cell size (> 0).
+func newSpatialGrid(pos []Point, cell float64) *spatialGrid {
+	sg := &spatialGrid{cell: cell, cells: make(map[[2]int32][]int32, len(pos)/4+1)}
+	for i, p := range pos {
+		k := sg.key(p)
+		sg.cells[k] = append(sg.cells[k], int32(i))
+	}
+	return sg
+}
+
+func (sg *spatialGrid) key(p Point) [2]int32 {
+	return [2]int32{int32(math.Floor(p.X / sg.cell)), int32(math.Floor(p.Y / sg.cell))}
+}
+
 // linkByDistance adds every link whose shadowed PRR clears minPRR, clamped
 // to maxPRR when positive. Each unordered pair draws its shadowing from a
 // sub-stream keyed by the pair, so the result does not depend on iteration
-// order.
+// order. Pairs farther than the distance where even a very lucky (-3σ)
+// shadow draw cannot reach minPRR are skipped without consuming
+// randomness; above spatialHashMinNodes that cutoff also drives a spatial
+// hash (cell size = the cutoff, so a 3×3 neighborhood covers every
+// in-range pair) that enumerates exactly the same candidate pairs in the
+// same order as the quadratic scan — the generated graph is identical,
+// the cost drops from O(n²) to O(n) for constant-density fields.
 func linkByDistance(g *Graph, radio RadioModel, minPRR, maxPRR float64, shadowRNG *rngutil.Stream) {
-	// Pairs farther than the distance where even a very lucky (-3σ) shadow
-	// draw cannot reach minPRR are skipped without consuming randomness.
 	maxDist := radio.ConnectedRange(minPRR) * math.Pow(10, 3*radio.ShadowStd/(10*radio.Exponent))
-	for u := 0; u < g.N(); u++ {
-		for v := u + 1; v < g.N(); v++ {
-			d := g.Pos[u].Dist(g.Pos[v])
-			if d > maxDist {
-				continue
-			}
-			pairRNG := shadowRNG.Sub(uint64(u)<<32 | uint64(v))
-			shadow := pairRNG.NormMeanStd(0, radio.ShadowStd)
-			prr := radio.PRR(d, shadow)
-			if prr >= minPRR {
-				if prr > 1 {
-					prr = 1
-				}
-				if maxPRR > 0 && prr > maxPRR {
-					prr = maxPRR
-				}
-				g.AddLink(u, v, prr)
+	n := g.N()
+	if n < spatialHashMinNodes || g.Pos == nil || !(maxDist > 0) || math.IsInf(maxDist, 0) {
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				tryLink(g, radio, minPRR, maxPRR, shadowRNG, u, v, maxDist)
 			}
 		}
+		return
+	}
+	sg := newSpatialGrid(g.Pos, maxDist)
+	var cands []int32
+	for u := 0; u < n; u++ {
+		ck := sg.key(g.Pos[u])
+		cands = cands[:0]
+		for dy := int32(-1); dy <= 1; dy++ {
+			for dx := int32(-1); dx <= 1; dx++ {
+				for _, v := range sg.cells[[2]int32{ck[0] + dx, ck[1] + dy}] {
+					if int(v) > u {
+						cands = append(cands, v)
+					}
+				}
+			}
+		}
+		// Ascending v reproduces the quadratic scan's insertion order, so
+		// adjacency lists come out byte-identical, not just set-equal.
+		slices.Sort(cands)
+		for _, v := range cands {
+			tryLink(g, radio, minPRR, maxPRR, shadowRNG, u, int(v), maxDist)
+		}
+	}
+}
+
+// tryLink is linkByDistance's per-pair body: skip beyond the cutoff, draw
+// the pair-keyed shadow, link if the PRR clears minPRR.
+func tryLink(g *Graph, radio RadioModel, minPRR, maxPRR float64, shadowRNG *rngutil.Stream, u, v int, maxDist float64) {
+	d := g.Pos[u].Dist(g.Pos[v])
+	if d > maxDist {
+		return
+	}
+	pairRNG := shadowRNG.Sub(uint64(u)<<32 | uint64(v))
+	shadow := pairRNG.NormMeanStd(0, radio.ShadowStd)
+	prr := radio.PRR(d, shadow)
+	if prr >= minPRR {
+		if prr > 1 {
+			prr = 1
+		}
+		if maxPRR > 0 && prr > maxPRR {
+			prr = maxPRR
+		}
+		g.AddLink(u, v, prr)
 	}
 }
 
@@ -178,7 +269,17 @@ func capDegree(g *Graph, maxDegree int) {
 // cross-component pair with a mid-quality link until one component remains.
 // The PRR assigned is the shadow-free model value clamped into
 // [minPRR, 0.95] so the bridge behaves like a plausible marginal link.
+//
+// Above spatialHashMinNodes the exact global closest-pair scan (O(passes ×
+// n²)) is replaced by a grid-accelerated stitcher that attaches each minor
+// component to its nearest outside node; the committed small presets
+// (GreenOrbs, Testbed) stay on the exact path and are byte-identical to
+// earlier releases.
 func ensureConnected(g *Graph, radio RadioModel, minPRR float64) {
+	if g.N() >= spatialHashMinNodes && g.Pos != nil {
+		ensureConnectedGrid(g, radio, minPRR)
+		return
+	}
 	for {
 		comps := g.Components()
 		if len(comps) <= 1 {
@@ -206,6 +307,82 @@ func ensureConnected(g *Graph, radio RadioModel, minPRR float64) {
 		}
 		prr := clamp(radio.PRR(bestD, 0), minPRR, 0.95)
 		g.AddLink(bestU, bestV, prr)
+	}
+}
+
+// ensureConnectedGrid is the large-topology connectivity stitcher: every
+// component except the largest links to the nearest node outside itself,
+// found with an expanding-ring search over a spatial grid, and passes
+// repeat until one component remains (components at least halve per pass;
+// one pass suffices in practice). Deterministic: ring cells and their
+// occupants are visited in a fixed order and ties keep the first find.
+func ensureConnectedGrid(g *Graph, radio RadioModel, minPRR float64) {
+	cell := radio.ConnectedRange(minPRR)
+	if !(cell > 0) || math.IsInf(cell, 0) {
+		cell = 1
+	}
+	sg := newSpatialGrid(g.Pos, cell)
+	for {
+		comps := g.Components()
+		if len(comps) <= 1 {
+			return
+		}
+		giant := 0
+		for ci, comp := range comps {
+			if len(comp) > len(comps[giant]) {
+				giant = ci
+			}
+		}
+		compOf := make([]int32, g.N())
+		for ci, comp := range comps {
+			for _, v := range comp {
+				compOf[v] = int32(ci)
+			}
+		}
+		for ci, comp := range comps {
+			if ci == giant {
+				continue
+			}
+			bestU, bestV, bestD := -1, -1, math.Inf(1)
+			for _, u := range comp {
+				sg.nearestOutside(g.Pos, compOf, int32(ci), u, &bestU, &bestV, &bestD)
+			}
+			if bestU >= 0 {
+				g.AddLink(bestU, bestV, clamp(radio.PRR(bestD, 0), minPRR, 0.95))
+			}
+		}
+	}
+}
+
+// nearestOutside updates (bestU, bestV, bestD) with the closest node to u
+// whose component differs from ci, searching grid rings outward until the
+// ring's minimum possible distance exceeds the incumbent.
+func (sg *spatialGrid) nearestOutside(pos []Point, compOf []int32, ci int32, u int, bestU, bestV *int, bestD *float64) {
+	ck := sg.key(pos[u])
+	for r := int32(0); ; r++ {
+		// Ring r's closest possible point is (r-1) cells away, so once an
+		// incumbent beats that bound no farther ring can improve on it.
+		if *bestV >= 0 && float64(r-1)*sg.cell > *bestD {
+			return
+		}
+		for dy := -r; dy <= r; dy++ {
+			for dx := -r; dx <= r; dx++ {
+				if dx > -r && dx < r && dy > -r && dy < r {
+					continue // interior cells were covered by smaller rings
+				}
+				for _, v := range sg.cells[[2]int32{ck[0] + dx, ck[1] + dy}] {
+					if compOf[v] == ci {
+						continue
+					}
+					if d := pos[u].Dist(pos[int(v)]); d < *bestD {
+						*bestU, *bestV, *bestD = u, int(v), d
+					}
+				}
+			}
+		}
+		if r > int32(len(compOf))+2 { // unreachable safety bound
+			return
+		}
 	}
 }
 
@@ -322,17 +499,25 @@ func Line(n int, prr float64) *Graph {
 }
 
 // Star builds a hub-and-spoke graph: node 0 is the hub linked to all others
-// with uniform PRR.
+// with uniform PRR. The adjacency is assembled directly (already sorted)
+// rather than through AddLink, whose duplicate scan over the hub's growing
+// list would make a maximum-degree star quadratic — the CSR fuzz corpus
+// builds 50k-node stars.
 func Star(n int, prr float64) *Graph {
 	if n < 2 {
 		panic("topology: Star needs n >= 2")
 	}
+	if prr <= 0 || prr > 1 || math.IsNaN(prr) {
+		panic(fmt.Sprintf("topology: PRR %v outside (0,1]", prr))
+	}
 	g := New(n)
 	g.Name = fmt.Sprintf("star(%d)", n)
+	hub := make([]Link, n-1)
 	for i := 1; i < n; i++ {
-		g.AddLink(0, i, prr)
+		hub[i-1] = Link{To: i, PRR: prr}
+		g.adj[i] = []Link{{To: 0, PRR: prr}}
 	}
-	g.SortNeighbors()
+	g.adj[0] = hub
 	return g
 }
 

@@ -1,0 +1,53 @@
+package topology
+
+import "math"
+
+// NearIndex is a reusable uniform-grid spatial index over a position array.
+// It answers "which nodes could lie within `cell` of node u" by visiting
+// the 3×3 cell neighborhood around u — a superset of the true in-range set
+// that the caller filters with its own exact predicate. linkByDistance uses
+// the same technique internally with generation-order constraints; this
+// exported form serves callers (e.g. the flood package's carrier-sense
+// audibility) that need only membership, not ordering.
+type NearIndex struct {
+	cell  float64
+	cells map[[2]int32][]int32
+	pos   []Point
+}
+
+// NewNearIndex builds the index with the given cell size. Any pair at true
+// distance <= cell is guaranteed to fall within one cell of each other, so
+// VisitNear's 3×3 sweep never misses it; callers probing for pairs within
+// radius r should therefore pass a cell of at least r (a hair more if the
+// radius itself came out of rounded arithmetic).
+func NewNearIndex(pos []Point, cell float64) *NearIndex {
+	if !(cell > 0) || math.IsInf(cell, 0) {
+		panic("topology: NearIndex needs a positive finite cell size")
+	}
+	ni := &NearIndex{cell: cell, cells: make(map[[2]int32][]int32, len(pos)/4+1), pos: pos}
+	for i, p := range pos {
+		k := ni.key(p)
+		ni.cells[k] = append(ni.cells[k], int32(i))
+	}
+	return ni
+}
+
+func (ni *NearIndex) key(p Point) [2]int32 {
+	return [2]int32{int32(math.Floor(p.X / ni.cell)), int32(math.Floor(p.Y / ni.cell))}
+}
+
+// VisitNear calls fn for every node other than u in the 3×3 cell
+// neighborhood of u's cell, in unspecified order. The visited set is a
+// superset of all nodes within the index's cell size of u.
+func (ni *NearIndex) VisitNear(u int, fn func(v int)) {
+	k := ni.key(ni.pos[u])
+	for dx := int32(-1); dx <= 1; dx++ {
+		for dy := int32(-1); dy <= 1; dy++ {
+			for _, v := range ni.cells[[2]int32{k[0] + dx, k[1] + dy}] {
+				if int(v) != u {
+					fn(int(v))
+				}
+			}
+		}
+	}
+}
