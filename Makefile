@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race bench bench-engine bench-scale bench-guard docscheck figures figures-quick faults fuzz-faults examples clean
+.PHONY: all build vet test test-short test-race bench bench-engine bench-scale bench-guard docscheck figures figures-quick faults fuzz-faults fuzz-shard examples clean
 
 all: build vet test
 
@@ -33,12 +33,14 @@ bench-engine:
 	$(GO) run ./cmd/engbench -o BENCH_engine.json
 
 # Refresh the committed large-topology baseline (10k/100k-node GreenOrbs
-# scaling grid, serial vs sharded engine); ~15s on one core.
+# scaling grid, serial vs sharded engine, 3 reps per cell).
 bench-scale:
 	$(GO) run ./cmd/engbench -scale -o BENCH_scale.json
 
 # Assert the clean (no-fault) engine has not regressed against the
-# committed baselines: slot horizons exactly, wall clock within 50%.
+# committed baselines: slot horizons exactly, wall clock within 50%, and
+# the modeled parallel speedup at or above each case's committed
+# workers_speedup_floor.
 bench-guard:
 	$(GO) run ./cmd/engbench -against BENCH_engine.json -tolerance 0.5 -o ""
 	$(GO) run ./cmd/engbench -scale -against BENCH_scale.json -tolerance 0.5 -o ""
@@ -63,6 +65,11 @@ faults:
 # equivalence; CI runs a 10s smoke of this.
 fuzz-faults:
 	$(GO) test -fuzz FuzzFaultSchedule -fuzztime 30s ./internal/flood
+
+# Randomized chunk sizes / worker counts / fault schedules vs the sharded
+# merge path's byte-identity contracts; CI runs a 10s smoke of this.
+fuzz-shard:
+	$(GO) test -fuzz FuzzShardMerge -fuzztime 30s ./internal/sim
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -86,11 +86,13 @@ func main() {
 	against := flag.String("against", "", "committed baseline to guard against (empty skips the check)")
 	tolerance := flag.Float64("tolerance", 0.5, "allowed fractional wall-clock regression vs -against")
 	scale := flag.Bool("scale", false, "run the large-topology sharded-engine grid (BENCH_scale.json) instead of the engine grid")
+	scaleReps := flag.Int("scale-reps", 3, "repetitions per -scale cell per worker count (all cells, including 100k); the minimum wall-clock is reported")
 	smoke := flag.Bool("scale-smoke", false, "run the CI scale smoke (10k-node rgg, workers 1 vs 4 byte-equality) and exit")
+	smokeWorkers := flag.Int("smoke-workers", 8, "additional worker count the -scale-smoke gate checks beyond 1 and 4")
 	flag.Parse()
 
 	if *smoke {
-		if err := runScaleSmoke(); err != nil {
+		if err := runScaleSmoke(*smokeWorkers); err != nil {
 			fmt.Fprintln(os.Stderr, "engbench:", err)
 			os.Exit(1)
 		}
@@ -101,7 +103,7 @@ func main() {
 		if o == "BENCH_engine.json" { // untouched default: scale mode names its own file
 			o = "BENCH_scale.json"
 		}
-		if err := runScale(o, *against, *tolerance); err != nil {
+		if err := runScale(o, *against, *tolerance, *scaleReps); err != nil {
 			fmt.Fprintln(os.Stderr, "engbench:", err)
 			os.Exit(1)
 		}

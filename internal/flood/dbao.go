@@ -42,6 +42,7 @@ type DBAO struct {
 	intentBuf []sim.Intent
 	candBuf   []dbaoCand
 	firingBuf []dbaoCand
+	sel       selScratch
 
 	// csGraph / csFactor memoize the audibility structure: graphs are
 	// immutable by convention, so repeated runs over the same topology

@@ -17,6 +17,7 @@ type Flash struct {
 	assigned  []bool
 	csr       *topology.CSR
 	intentBuf []sim.Intent
+	sel       selScratch
 }
 
 // NewFlash returns a fresh Flash instance.

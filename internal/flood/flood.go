@@ -55,5 +55,5 @@ func deferToReception(w *sim.World, sender int) bool {
 	if !w.IsAwake(sender) || !w.NeedsAnything(sender) {
 		return false
 	}
-	return w.ProtoRNG.Bool(0.25)
+	return w.ProtoRNG.Bool(deferProb)
 }

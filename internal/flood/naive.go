@@ -24,6 +24,7 @@ type Naive struct {
 	intentBuf []sim.Intent
 	candBuf   []int
 	firingBuf []int
+	sel       selScratch
 
 	// csGraph memoizes the audibility structure across runs over the same
 	// (immutable) topology.

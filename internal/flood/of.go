@@ -29,6 +29,7 @@ type OF struct {
 	csr       *topology.CSR
 	intentBuf []sim.Intent
 	pktBuf    []int
+	sel       selScratch
 
 	// treeGraph / treePeriod memoize the energy-optimal tree and its
 	// expected-delay distribution across runs over the same (immutable)

@@ -20,6 +20,7 @@ type OPT struct {
 	assigned  []bool
 	csr       *topology.CSR
 	intentBuf []sim.Intent
+	sel       selScratch
 }
 
 // NewOPT returns a fresh OPT instance.

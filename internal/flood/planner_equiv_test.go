@@ -1,0 +1,99 @@
+package flood
+
+// Metamorphic certification of the ShardPlanner implementations against
+// the serial Intents scans they replace.
+//
+// The sharded contract deliberately frees the planner path from
+// reproducing the serial RNG stream, so the two paths cannot be compared
+// on arbitrary configurations. But both randomness conventions agree on
+// the degenerate probabilities: Bool(p) and the stored-uniform U < p both
+// yield false at p <= 0 and true at p >= 1, with no stream perturbation.
+// Zeroing deferProb and pushing every contention probability to a
+// degenerate end therefore lands serial and sharded execution on a common
+// deterministic subspace where the planner's candidate scan + selection
+// must reproduce the serial scan decision-for-decision — a bit-for-bit
+// differential test of all the planner logic except the draw sites
+// themselves (which the worker-count grid certifies separately).
+//
+// Overhearing protocols are restricted: the serial engine delivers
+// overheard packets success-outer (an overhearer adjacent to several
+// successful senders can receive several packets) while the sharded
+// engine resolves one delivery per overhearer, so OPT and DBAO run with
+// DisableOverhearing and Flash (which always overhears) is exercised only
+// by the worker-count grid.
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"ldcflood/internal/sim"
+	"ldcflood/internal/topology"
+	"ldcflood/internal/tracelog"
+)
+
+// runDeterministic executes one protocol instance on the deterministic
+// subspace with the given worker count, returning result and trace bytes.
+func runDeterministic(t *testing.T, p sim.Protocol, workers int, compact bool) (*sim.Result, []byte) {
+	t.Helper()
+	g := topology.Grid(6, 6, 1.0)
+	var buf bytes.Buffer
+	cfg := sim.Config{
+		Graph:            g,
+		Schedules:        uniform(g.N(), 20, 42),
+		M:                3,
+		Coverage:         0.99,
+		Seed:             99,
+		MaxSlots:         200000,
+		RecordReceptions: true,
+		Protocol:         p,
+		Observer:         tracelog.NewLogger(&buf),
+		Workers:          workers,
+		CompactTime:      compact,
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatalf("%s workers=%d: %v", p.Name(), workers, err)
+	}
+	if err := cfg.Observer.(*tracelog.Logger).Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return res, buf.Bytes()
+}
+
+// TestPlannerMatchesSerialOnDeterministicSubspace pins every planner's
+// selection logic to the serial scan it parallelizes: with deferProb
+// zeroed and all contention probabilities degenerate, Workers=4 (planner
+// path) must reproduce Workers=0 (serial Intents path) bit for bit —
+// results and traces — on both time paths.
+func TestPlannerMatchesSerialOnDeterministicSubspace(t *testing.T) {
+	restore := setDeferProb(0)
+	defer restore()
+
+	cases := []struct {
+		name string
+		mk   func() sim.Protocol
+	}{
+		{"opt", func() sim.Protocol { return &OPT{DisableOverhearing: true} }},
+		{"dbao", func() sim.Protocol { return &DBAO{DisableOverhearing: true, HiddenFireProb: 1} }},
+		{"naive", func() sim.Protocol { return &Naive{HiddenFireProb: 1} }},
+		{"of-tree-only", func() sim.Protocol { return &OF{DisableOpportunistic: true} }},
+		// Aggressiveness large enough that forwardProbability clamps to 1
+		// for every candidate density, making opportunistic firing certain.
+		{"of-max-aggressive", func() sim.Protocol { return &OF{Aggressiveness: 1e12} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			serial, serialTrace := runDeterministic(t, tc.mk(), 0, false)
+			for _, compact := range []bool{false, true} {
+				sharded, shardedTrace := runDeterministic(t, tc.mk(), 4, compact)
+				if !reflect.DeepEqual(serial, sharded) {
+					t.Errorf("compact=%v: planner path diverged from serial path", compact)
+				}
+				if !bytes.Equal(serialTrace, shardedTrace) {
+					t.Errorf("compact=%v: planner trace diverged from serial trace", compact)
+				}
+			}
+		})
+	}
+}

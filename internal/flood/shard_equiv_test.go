@@ -80,6 +80,13 @@ func TestShardEquivalenceGrid(t *testing.T) {
 				if !bytes.Equal(refTrace1, refTrace4) {
 					t.Errorf("%s reference: traces diverge across worker counts", protocol)
 				}
+				ref8, refTrace8 := runSharded(t, cfg, protocol, 8, false)
+				if !reflect.DeepEqual(ref1, ref8) {
+					t.Errorf("%s reference: workers 8 diverged from workers 1", protocol)
+				}
+				if !bytes.Equal(refTrace1, refTrace8) {
+					t.Errorf("%s reference: workers 8 trace diverged from workers 1", protocol)
+				}
 				cmp1, cmpTrace1 := runSharded(t, cfg, protocol, 1, true)
 				cmp4, cmpTrace4 := runSharded(t, cfg, protocol, 4, true)
 				if !reflect.DeepEqual(cmp1, cmp4) {

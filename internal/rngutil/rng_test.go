@@ -437,3 +437,154 @@ func BenchmarkSub(b *testing.B) {
 		_ = r.Sub(uint64(i))
 	}
 }
+
+func TestSubValue2Deterministic(t *testing.T) {
+	root := New(11)
+	a := root.SubValue2(3, 9)
+	b := root.SubValue2(3, 9)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("SubValue2 with equal keys diverged at step %d", i)
+		}
+	}
+}
+
+func TestSubValue2DoesNotConsumeParent(t *testing.T) {
+	a := New(5)
+	b := New(5)
+	_ = a.SubValue2(1, 2)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("SubValue2 consumed parent randomness (step %d)", i)
+		}
+	}
+}
+
+// TestSubValue2PairsDistinct exhaustively checks a small key grid: every
+// ordered pair — including the transposes — must yield a distinct state,
+// and none may collide with the single-key SubValue streams of either key.
+func TestSubValue2PairsDistinct(t *testing.T) {
+	root := New(99)
+	seen := map[[4]uint64]string{}
+	note := func(s Stream, label string) {
+		if prev, ok := seen[s.s]; ok {
+			t.Fatalf("state collision: %s vs %s", label, prev)
+		}
+		seen[s.s] = label
+	}
+	keys := []uint64{0, 1, 2, 3, 63, 64, 1 << 32, 1<<62 - 1, 1 << 62, 1 << 63, ^uint64(0)}
+	for _, k1 := range keys {
+		for _, k2 := range keys {
+			note(root.SubValue2(k1, k2), "pair")
+		}
+	}
+	// Single-key streams must not alias the pair streams either. SubValue's
+	// own keyspace is 63 bits (see its doc comment), so restrict the singles
+	// to keys that are distinct modulo 2^63.
+	for _, k := range []uint64{0, 1, 2, 3, 63, 64, 1 << 32, 1<<62 - 1, 1 << 62} {
+		note(root.SubValue(k), "single")
+	}
+}
+
+// TestSubValueTopBitAliasing pins SubValue's documented keyspace limit:
+// the top key bit cancels in the mixing, so keys must be distinct modulo
+// 2^63. The identity below is load-bearing — key allocators (the sharded
+// engine's stream tree) rely on it staying exactly this way, and the
+// mixing constants cannot change without invalidating committed baselines.
+func TestSubValueTopBitAliasing(t *testing.T) {
+	root := New(123)
+	for _, k := range []uint64{0, 1, 7, 1 << 20, 1<<62 - 5} {
+		a := root.SubValue(k)
+		b := root.SubValue(k ^ 1<<63)
+		if a.s != b.s {
+			t.Fatalf("SubValue(%d) no longer aliases SubValue(%d): the mixing changed", k, k^1<<63)
+		}
+	}
+	// SubValue2 must NOT inherit the aliasing.
+	p := root.SubValue2(0, 0)
+	q := root.SubValue2(1<<63, 0)
+	r2 := root.SubValue2(0, 1<<63)
+	if p.s == q.s || p.s == r2.s {
+		t.Fatal("SubValue2 aliases the top key bit")
+	}
+}
+
+func TestSubValue2OrderSensitive(t *testing.T) {
+	root := New(4)
+	a := root.SubValue2(10, 20)
+	b := root.SubValue2(20, 10)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("transposed pair streams coincide too often: %d/100", same)
+	}
+}
+
+func TestSubValue2Uniform(t *testing.T) {
+	// First draw of many keyed streams should look uniform: check the mean
+	// of the first Float64 across a key sweep.
+	root := New(8)
+	sum := 0.0
+	const nkeys = 20000
+	for k := uint64(0); k < nkeys; k++ {
+		s := root.SubValue2(k, k*k+1)
+		sum += s.Float64()
+	}
+	mean := sum / nkeys
+	if math.Abs(mean-0.5) > 0.02 {
+		t.Fatalf("first-draw mean across keyed pair streams = %f, want ~0.5", mean)
+	}
+}
+
+// TestPairFloat64MatchesSubValue2 pins PairFloat64 to its documented
+// identity: the first Float64 of the full SubValue2 sub-stream. Keyed
+// baselines (the sharded planners' contention draws) depend on the two
+// derivations never diverging.
+func TestPairFloat64MatchesSubValue2(t *testing.T) {
+	root := New(42)
+	keys := []uint64{0, 1, 2, 63, 1 << 32, 1 << 62, 1 << 63, ^uint64(0)}
+	for _, k1 := range keys {
+		for _, k2 := range keys {
+			sub := root.SubValue2(k1, k2)
+			want := sub.Float64()
+			if got := root.PairFloat64(k1, k2); got != want {
+				t.Fatalf("PairFloat64(%d, %d) = %v, want SubValue2 first draw %v", k1, k2, got, want)
+			}
+		}
+	}
+}
+
+// TestPairFloat64DoesNotConsumeParent mirrors the SubValue2 guarantee.
+func TestPairFloat64DoesNotConsumeParent(t *testing.T) {
+	a := New(5)
+	b := New(5)
+	_ = a.PairFloat64(1, 2)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("PairFloat64 consumed parent randomness (step %d)", i)
+		}
+	}
+}
+
+// TestPairFloat64Uniform sweeps a key grid and checks the draws stay in
+// [0, 1) with a plausible mean.
+func TestPairFloat64Uniform(t *testing.T) {
+	root := New(8)
+	sum := 0.0
+	const nkeys = 20000
+	for k := uint64(0); k < nkeys; k++ {
+		u := root.PairFloat64(k, k*k+1)
+		if u < 0 || u >= 1 {
+			t.Fatalf("PairFloat64 out of range: %v", u)
+		}
+		sum += u
+	}
+	mean := sum / nkeys
+	if math.Abs(mean-0.5) > 0.02 {
+		t.Fatalf("mean across keyed pair draws = %f, want ~0.5", mean)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"slices"
+	"sync/atomic"
 
 	"ldcflood/internal/fault"
 	"ldcflood/internal/rngutil"
@@ -34,6 +35,15 @@ func coverTarget(coverage float64, n int) int {
 // success records one decoded unicast of the current slot; overhearing
 // fans out from successful senders after all receptions resolve.
 type success struct{ from, to, packet int }
+
+// groupedTx is one surviving intent grouped under its receiver, with the
+// static link PRR stashed at admission time so the decision paths (serial
+// and sharded alike) never repeat the adjacency lookup — at 100k nodes
+// that lookup is a CSR binary search per draw.
+type groupedTx struct {
+	in  Intent
+	prr float64
+}
 
 // engine bundles one run's mutable state: configuration, world, result
 // accumulators, RNG streams, and the per-slot scratch buffers shared by
@@ -87,7 +97,7 @@ type engine struct {
 	// Per-slot scratch, reused across slots. rxIntents[r] collects the
 	// surviving intents targeting receiver r (replacing the former
 	// per-slot map churn); rxList is the receivers touched this slot.
-	rxIntents   [][]Intent
+	rxIntents   [][]groupedTx
 	rxList      []int
 	successes   []success
 	targeted    []bool
@@ -96,12 +106,54 @@ type engine struct {
 	recvTouched []int // nodes whose recvNow flag was set this slot
 
 	// Sharded-mode scratch: rxRec[i] is the decision record for rxList[i],
-	// ohRec[k] the overhearing outcome for awakeList[k], and senderSuccess
-	// maps a sender to its index in successes (-1 otherwise), reset sparsely
-	// after every slot. Workers write disjoint indices; merges are serial.
+	// and senderSuccess maps a sender to its index in successes (-1
+	// otherwise), reset sparsely after every slot. ohRows/ohOff hold the
+	// slot's successful-sender neighbor rows and their prefix-sum offsets
+	// (the overhear batch's concatenated index space); ohSeen is the
+	// atomic claim flag ensuring each candidate node is decided once;
+	// ohHits the per-chunk hit/claim arenas the merge concatenates and
+	// resets. Workers write disjoint indices except the CAS claims.
 	rxRec         []rxRecord
-	ohRec         []int32
 	senderSuccess []int32
+	ohRows        [][]int32
+	ohOff         []int32
+	ohSeen        []atomic.Bool
+	ohHits        []ohChunk
+	ohAll         []ohHit
+
+	// Planner-mode scratch (e.planner != nil): the slot's protocol stream
+	// root, per-worker candidate arenas, the per-awake-index plan slices,
+	// the compacted SlotPlan, the selected transmissions awaiting
+	// admission, and the pre-bound emit closure (bound once so the hot
+	// loop allocates nothing). rxFlat/rxOff replace rxIntents on this
+	// path: SelectIntents emits receiver groups contiguously in ascending
+	// order, so admitted survivors land in one flat arena with rxOff[i]
+	// marking where rxList[i]'s group starts — sequential appends and
+	// sequential group reads instead of a random-access bucket per
+	// receiver.
+	planner    ShardPlanner
+	protoSlot  rngutil.Stream
+	planArenas []planArena
+	rxPlan     [][]Candidate
+	planIdx    []idxChunk
+	plan       SlotPlan
+	planned    []groupedTx
+	rxFlat     []groupedTx
+	rxOff      []int32
+	emitFn     func(in Intent, prr float64)
+
+	// Deterministic sharded-path accounting drained into telemetry:
+	// planned candidates, receiver groups merged in phase D, and overhear
+	// candidates decided in phase E.
+	statPlanCands int64
+	statMergeRecv int64
+	statOhCands   int64
+}
+
+// emitPlanned is the planner's emit callback: it stages a selected
+// transmission (with its stashed link PRR) for admission.
+func (e *engine) emitPlanned(in Intent, prr float64) {
+	e.planned = append(e.planned, groupedTx{in: in, prr: prr})
 }
 
 // Run executes one simulation until every packet reaches the coverage
@@ -190,7 +242,6 @@ func Run(cfg Config) (*Result, error) {
 		interval:   interval,
 		coverNodes: coverNodes,
 		maxSlots:   maxSlots,
-		rxIntents:  make([][]Intent, n),
 		targeted:   make([]bool, n),
 		recvNow:    make([]bool, n),
 		crashed:    make([]bool, n),
@@ -226,8 +277,19 @@ func Run(cfg Config) (*Result, error) {
 		for i := range e.senderSuccess {
 			e.senderSuccess[i] = -1
 		}
-		e.pool = newShardPool(e.workers)
+		e.ohSeen = make([]atomic.Bool, n)
+		if sp, ok := cfg.Protocol.(ShardPlanner); ok {
+			e.planner = sp
+			e.planArenas = make([]planArena, e.workers)
+			e.emitFn = e.emitPlanned
+		}
+		e.pool = newShardPool(e.workers, cfg.ShardStats)
 		defer e.pool.close()
+	}
+	if e.planner == nil {
+		// The flat rxFlat/rxOff arena replaces the per-receiver buckets on
+		// the planner path; every other path groups through rxIntents.
+		e.rxIntents = make([][]groupedTx, n)
 	}
 
 	plan := e.planCompact()
@@ -307,14 +369,6 @@ func (e *engine) applyFaults(t int64) {
 	}
 }
 
-// hasLink reports whether u and v are linked.
-func (e *engine) hasLink(u, v int) bool {
-	if e.linkPRR != nil {
-		return e.linkPRR[u*e.n+v] >= 0
-	}
-	return e.csr.HasLink(u, v)
-}
-
 // planCompact decides whether the compact-time fast path applies and, if
 // so, builds its precomputed schedule structure. A nil return selects the
 // slot-by-slot path.
@@ -363,6 +417,11 @@ func (e *engine) runSlots() error {
 	if e.workers > 0 && cfg.Adapt == nil {
 		plan = newAwakePlan(e.scheds)
 	}
+	// Without a fault injector no node can crash, so the per-node awake
+	// tally is a pure function of the static schedules and the horizon —
+	// computed arithmetically after the loop (exactly as runCompact does)
+	// instead of incrementing per awake node per slot.
+	countAwake := plan == nil || e.inj != nil
 	for t := int64(0); t < e.maxSlots && e.covered < cfg.M; t++ {
 		if cfg.Interrupt != nil && cfg.Interrupt(t) {
 			return e.interruptErr(t)
@@ -391,7 +450,9 @@ func (e *engine) runSlots() error {
 				}
 				w.awake[i] = true
 				w.awakeList = append(w.awakeList, int(i))
-				res.AwakeSlotsPerNode[i]++
+				if countAwake {
+					res.AwakeSlotsPerNode[i]++
+				}
 			}
 		} else {
 			w.awakeList = w.awakeList[:0]
@@ -410,6 +471,11 @@ func (e *engine) runSlots() error {
 		res.TotalSlots = t + 1
 		if e.tel != nil {
 			e.tel.tick(e)
+		}
+	}
+	if !countAwake {
+		for i := 0; i < e.n; i++ {
+			res.AwakeSlotsPerNode[i] = e.scheds[i].ActiveCountBefore(res.TotalSlots)
 		}
 	}
 	return nil
@@ -482,59 +548,94 @@ func (e *engine) resolve(t int64) error {
 	return e.resolveSlot(t)
 }
 
-// collectIntents asks the protocol for this slot's transmissions, validates
-// them, enforces one transmission per sender, applies synchronization-miss
-// draws, and groups the survivors by receiver into the reused per-receiver
-// slices (rxList ascending). Shared verbatim by both resolution paths, so
-// the protocol-facing semantics — including the syncRNG consumption order —
+// collectIntents asks the protocol for this slot's transmissions and
+// admits them. Shared verbatim by both resolution paths, so the
+// protocol-facing semantics — including the syncRNG consumption order —
 // are identical under every worker count.
 func (e *engine) collectIntents(t int64) error {
-	w, res, cfg := e.w, e.res, &e.cfg
-
-	intents := cfg.Protocol.Intents(w)
+	intents := e.cfg.Protocol.Intents(e.w)
 	e.rxList = e.rxList[:0]
 	for _, in := range intents {
-		if in.From < 0 || in.From >= e.n || in.To < 0 || in.To >= e.n || in.From == in.To {
-			return fmt.Errorf("sim: protocol %s produced invalid intent %+v", cfg.Protocol.Name(), in)
+		if err := e.admitIntent(in, -1, t); err != nil {
+			return err
 		}
-		if in.Packet < 0 || in.Packet >= w.injected {
-			return fmt.Errorf("sim: intent for uninjected packet %d", in.Packet)
-		}
-		if !w.Has(in.Packet, in.From) {
-			return fmt.Errorf("sim: node %d does not hold packet %d", in.From, in.Packet)
-		}
-		if !e.hasLink(in.From, in.To) {
-			return fmt.Errorf("sim: intent over non-link %d-%d", in.From, in.To)
-		}
-		if !w.awake[in.To] {
-			return fmt.Errorf("sim: intent to dormant node %d", in.To)
-		}
-		if w.transmitting[in.From] {
-			continue // one transmission per sender per slot
-		}
-		if w.Has(in.Packet, in.To) {
-			continue // receiver already has it; drop silently
-		}
-		w.transmitting[in.From] = true
-		e.txTouched = append(e.txTouched, in.From)
-		if cfg.SyncErrorProb > 0 && e.syncRNG.Bool(cfg.SyncErrorProb) {
-			// Local-synchronization miss: the sender fires at the
-			// wrong slot and nobody is listening.
-			res.Transmissions++
-			res.TxPerNode[in.From]++
-			res.SyncFailures++
-			if cfg.Observer != nil {
-				cfg.Observer.OnTransmit(t, in.From, in.To, in.Packet, TxSync)
-			}
-			continue
-		}
-		if len(e.rxIntents[in.To]) == 0 {
-			e.rxList = append(e.rxList, in.To)
-		}
-		e.rxIntents[in.To] = append(e.rxIntents[in.To], in)
 	}
 	slices.Sort(e.rxList)
 	return nil
+}
+
+// admitIntent validates one intent, enforces one transmission per sender,
+// applies the synchronization-miss draw, and groups the survivor under its
+// receiver with its link PRR stashed.
+func (e *engine) admitIntent(in Intent, prr float64, t int64) error {
+	prr, ok, err := e.vetIntent(in, prr, t)
+	if err != nil || !ok {
+		return err
+	}
+	if len(e.rxIntents[in.To]) == 0 {
+		e.rxList = append(e.rxList, in.To)
+	}
+	e.rxIntents[in.To] = append(e.rxIntents[in.To], groupedTx{in: in, prr: prr})
+	return nil
+}
+
+// vetIntent is admission without the grouping: validation, the
+// one-transmission-per-sender rule, and the synchronization-miss draw.
+// It returns the resolved link PRR and whether the intent survives to a
+// receiver group. A negative prr means unknown — look it up;
+// planner-emitted intents pass the PRR stashed at plan time, which keeps
+// the CSR binary search off the sharded path's serial spine (links
+// always have PRR > 0, so the link-existence check is the same either way).
+func (e *engine) vetIntent(in Intent, prr float64, t int64) (float64, bool, error) {
+	w, res, cfg := e.w, e.res, &e.cfg
+	if in.From < 0 || in.From >= e.n || in.To < 0 || in.To >= e.n || in.From == in.To {
+		return 0, false, fmt.Errorf("sim: protocol %s produced invalid intent %+v", cfg.Protocol.Name(), in)
+	}
+	if in.Packet < 0 || in.Packet >= w.injected {
+		return 0, false, fmt.Errorf("sim: intent for uninjected packet %d", in.Packet)
+	}
+	if !w.Has(in.Packet, in.From) {
+		return 0, false, fmt.Errorf("sim: node %d does not hold packet %d", in.From, in.Packet)
+	}
+	if prr < 0 {
+		prr = e.prr(in.From, in.To)
+	}
+	if prr <= 0 {
+		return 0, false, fmt.Errorf("sim: intent over non-link %d-%d", in.From, in.To)
+	}
+	if !w.awake[in.To] {
+		return 0, false, fmt.Errorf("sim: intent to dormant node %d", in.To)
+	}
+	if w.transmitting[in.From] {
+		return 0, false, nil // one transmission per sender per slot
+	}
+	if w.Has(in.Packet, in.To) {
+		return 0, false, nil // receiver already has it; drop silently
+	}
+	w.transmitting[in.From] = true
+	e.txTouched = append(e.txTouched, in.From)
+	if cfg.SyncErrorProb > 0 && e.syncRNG.Bool(cfg.SyncErrorProb) {
+		// Local-synchronization miss: the sender fires at the
+		// wrong slot and nobody is listening.
+		res.Transmissions++
+		res.TxPerNode[in.From]++
+		res.SyncFailures++
+		if cfg.Observer != nil {
+			cfg.Observer.OnTransmit(t, in.From, in.To, in.Packet, TxSync)
+		}
+		return 0, false, nil
+	}
+	return prr, true, nil
+}
+
+// scaledPRR returns tx's stashed link PRR after any fault-schedule
+// degradation at slot t — effPRR without the adjacency lookup.
+func (e *engine) scaledPRR(tx *groupedTx, t int64) float64 {
+	p := tx.prr
+	if e.inj != nil && p > 0 {
+		p *= e.inj.LinkScale(t, tx.in.From, tx.in.To)
+	}
+	return p
 }
 
 // resolveSlot is the historical serial slot resolution: collect intents,
@@ -553,7 +654,7 @@ func (e *engine) resolveSlot(t int64) error {
 		txs := e.rxIntents[r]
 		res.Transmissions += len(txs)
 		for _, tx := range txs {
-			res.TxPerNode[tx.From]++
+			res.TxPerNode[tx.in.From]++
 		}
 		e.targeted[r] = true
 		switch {
@@ -563,7 +664,7 @@ func (e *engine) resolveSlot(t int64) error {
 			res.JamFailures += len(txs)
 			if cfg.Observer != nil {
 				for _, tx := range txs {
-					cfg.Observer.OnTransmit(t, tx.From, r, tx.Packet, TxJammed)
+					cfg.Observer.OnTransmit(t, tx.in.From, r, tx.in.Packet, TxJammed)
 				}
 			}
 		case w.transmitting[r]:
@@ -571,7 +672,7 @@ func (e *engine) resolveSlot(t int64) error {
 			res.BusyFailures += len(txs)
 			if cfg.Observer != nil {
 				for _, tx := range txs {
-					cfg.Observer.OnTransmit(t, tx.From, r, tx.Packet, TxBusy)
+					cfg.Observer.OnTransmit(t, tx.in.From, r, tx.in.Packet, TxBusy)
 				}
 			}
 		case len(txs) > 1 && cfg.Protocol.CollisionsApply():
@@ -579,25 +680,26 @@ func (e *engine) resolveSlot(t int64) error {
 			// collision (reference [17]'s flash-flooding mechanism).
 			captured := false
 			if cfg.CaptureProb > 0 && e.lossRNG.Bool(cfg.CaptureProb) {
-				best := txs[0]
-				for _, tx := range txs[1:] {
-					if e.effPRR(tx.From, r) > e.effPRR(best.From, r) {
-						best = tx
+				best := 0
+				for j := 1; j < len(txs); j++ {
+					if e.scaledPRR(&txs[j], t) > e.scaledPRR(&txs[best], t) {
+						best = j
 					}
 				}
-				if e.lossRNG.Bool(e.effPRR(best.From, r)) {
+				if e.lossRNG.Bool(e.scaledPRR(&txs[best], t)) {
 					captured = true
 					res.Captures++
-					e.deliverNow(best.Packet, r, t)
-					e.successes = append(e.successes, success{best.From, r, best.Packet})
+					bestTx := txs[best]
+					e.deliverNow(bestTx.in.Packet, r, t)
+					e.successes = append(e.successes, success{bestTx.in.From, r, bestTx.in.Packet})
 					res.CollisionFailures += len(txs) - 1
 					if cfg.Observer != nil {
-						for _, tx := range txs {
+						for j, tx := range txs {
 							outcome := TxCollision
-							if tx == best {
+							if j == best {
 								outcome = TxSuccess
 							}
-							cfg.Observer.OnTransmit(t, tx.From, r, tx.Packet, outcome)
+							cfg.Observer.OnTransmit(t, tx.in.From, r, tx.in.Packet, outcome)
 						}
 					}
 				}
@@ -606,7 +708,7 @@ func (e *engine) resolveSlot(t int64) error {
 				res.CollisionFailures += len(txs)
 				if cfg.Observer != nil {
 					for _, tx := range txs {
-						cfg.Observer.OnTransmit(t, tx.From, r, tx.Packet, TxCollision)
+						cfg.Observer.OnTransmit(t, tx.in.From, r, tx.in.Packet, TxCollision)
 					}
 				}
 			}
@@ -614,25 +716,26 @@ func (e *engine) resolveSlot(t int64) error {
 			// Attempt in order until one succeeds; the rest of an
 			// oracle's redundant transmissions are counted as losses.
 			got := false
-			for _, tx := range txs {
+			for j := range txs {
+				tx := &txs[j]
 				if got {
 					res.LossFailures++
 					if cfg.Observer != nil {
-						cfg.Observer.OnTransmit(t, tx.From, r, tx.Packet, TxRedundant)
+						cfg.Observer.OnTransmit(t, tx.in.From, r, tx.in.Packet, TxRedundant)
 					}
 					continue
 				}
-				if e.lossRNG.Bool(e.effPRR(tx.From, tx.To)) {
+				if e.lossRNG.Bool(e.scaledPRR(tx, t)) {
 					got = true
-					e.deliverNow(tx.Packet, r, t)
-					e.successes = append(e.successes, success{tx.From, r, tx.Packet})
+					e.deliverNow(tx.in.Packet, r, t)
+					e.successes = append(e.successes, success{tx.in.From, r, tx.in.Packet})
 					if cfg.Observer != nil {
-						cfg.Observer.OnTransmit(t, tx.From, r, tx.Packet, TxSuccess)
+						cfg.Observer.OnTransmit(t, tx.in.From, r, tx.in.Packet, TxSuccess)
 					}
 				} else {
 					res.LossFailures++
 					if cfg.Observer != nil {
-						cfg.Observer.OnTransmit(t, tx.From, r, tx.Packet, TxLoss)
+						cfg.Observer.OnTransmit(t, tx.in.From, r, tx.in.Packet, TxLoss)
 					}
 				}
 			}
@@ -691,13 +794,30 @@ func (e *engine) accountCoverage(t int64) {
 	}
 }
 
+// groupTxs returns receiver rxList[i]'s intent group: a slice of the
+// planner path's flat arena, or the rxIntents bucket everywhere else.
+func (e *engine) groupTxs(i int) []groupedTx {
+	if e.planner != nil {
+		return e.rxFlat[e.rxOff[i]:e.rxOff[i+1]]
+	}
+	return e.rxIntents[e.rxList[i]]
+}
+
 // cleanupSlot resets exactly the scratch entries this slot touched, so
-// consecutive slots need no O(n) wipes.
+// consecutive slots need no O(n) wipes. The planner path never populates
+// rxIntents (its groups live in the flat arena, truncated wholesale each
+// slot), so only the targeted marks need the per-receiver walk there.
 func (e *engine) cleanupSlot() {
 	w := e.w
-	for _, r := range e.rxList {
-		e.targeted[r] = false
-		e.rxIntents[r] = e.rxIntents[r][:0]
+	if e.planner != nil {
+		for _, r := range e.rxList {
+			e.targeted[r] = false
+		}
+	} else {
+		for _, r := range e.rxList {
+			e.targeted[r] = false
+			e.rxIntents[r] = e.rxIntents[r][:0]
+		}
 	}
 	for _, i := range e.txTouched {
 		w.transmitting[i] = false

@@ -1,0 +1,220 @@
+package sim
+
+// Parallel intent planning for the sharded path. Profiling the sharded
+// engine shows the serial Protocol.Intents call dominating the slot
+// (55%+ of runtime for the flood protocols): per awake receiver it scans
+// a neighbor row, probes packet bitsets, and draws contention randomness
+// from the shared sequential ProtoRNG — work that grows with the awake
+// bucket while phases C/E shrink. Amdahl then caps any worker speedup
+// near 1 no matter how parallel the decision phases are.
+//
+// ShardPlanner splits that work the same way the engine split the loss
+// draws: a parallel, per-receiver candidate scan using (slot, node)-keyed
+// streams, followed by a cheap serial selection pass for the cross-
+// receiver contention state (a sender serves one receiver per slot). A
+// protocol that implements it keeps its Workers == 0 behavior bit-for-bit
+// (the serial path never calls the planner); under Workers >= 1 its
+// results remain identical across every worker count but legitimately
+// differ from the serial stream — exactly the existing sharded contract,
+// now extended to the protocol's own draws.
+//
+// Concurrency contract for PlanReceiver: it runs on pool workers, so it
+// must only read the World and protocol state and append to the provided
+// buffer — no protocol-owned scratch, no ProtoRNG. All randomness must
+// come from slot-keyed derivations of the provided stream (by convention
+// SubValue2(node, tag) / SubValue2(receiver, sender)), so a receiver's
+// candidates are a pure function of (seed, slot, pre-slot world state).
+// SelectIntents runs serially and may use protocol scratch freely.
+
+import (
+	"fmt"
+
+	"ldcflood/internal/rngutil"
+)
+
+// PacketFCFS marks a planned candidate (or emitted intent) whose concrete
+// packet is the sender's oldest packet the receiver still needs. The
+// engine resolves it with a parallel OldestNeeded pass after selection,
+// keeping the bitset scans off the serial spine. Protocols whose packet
+// choice feeds the selection logic itself (OF's delay comparison) resolve
+// packets at plan time instead and never use the sentinel.
+const PacketFCFS = -1
+
+// protoStreamKey keys the slot's protocol-planning stream under the slot
+// stream. Engine decision phases key receivers at node*2 and overhearers
+// at node*2+1; this constant must stay clear of both — and, because
+// Stream.SubValue's effective keyspace is 63 bits, distinct from every
+// node key modulo 2^63. 2^62 satisfies both for any n < 2^61.
+const protoStreamKey = 1 << 62
+
+// Candidate is one prospective sender produced by PlanReceiver: the
+// neighbor Node would send Packet (or PacketFCFS) with link quality PRR.
+// U carries the candidate's pre-drawn uniform variate and Flags any
+// protocol-private bits (a deferred marker, a tree-parent marker), so the
+// serial selection pass needs no randomness and no graph access.
+type Candidate struct {
+	Node   int32
+	Packet int32
+	Flags  uint8
+	PRR    float64
+	U      float64
+}
+
+// ShardPlanner is the optional Protocol extension that moves the
+// per-receiver intent scan onto the worker pool. See the file comment for
+// the exact split and the concurrency contract.
+type ShardPlanner interface {
+	Protocol
+
+	// PlanReceiver appends awake receiver r's candidate senders to buf and
+	// returns it. Runs concurrently across receivers; read-only except buf.
+	PlanReceiver(w *World, r int, slot *rngutil.Stream, buf []Candidate) []Candidate
+
+	// SelectIntents runs the serial cross-receiver selection over the
+	// slot's plan, emitting each chosen transmission with its stashed link
+	// PRR. Receivers appear in ascending node order, candidates in the
+	// order PlanReceiver produced them. Emissions must be grouped by
+	// receiver in that same ascending order — finish one receiver's
+	// intents before emitting the next's (iterating the plan in order and
+	// emitting inside the loop satisfies this); the engine's admission
+	// stage relies on it and rejects out-of-order emission.
+	SelectIntents(w *World, plan *SlotPlan, emit func(in Intent, prr float64))
+}
+
+// SlotPlan is one slot's planned candidates: the receivers that admitted
+// at least one candidate, ascending, with their candidate lists.
+type SlotPlan struct {
+	recvs []int32
+	cands [][]Candidate
+}
+
+// Len returns the number of receivers with candidates.
+func (p *SlotPlan) Len() int { return len(p.recvs) }
+
+// Receiver returns the i-th receiver's node id.
+func (p *SlotPlan) Receiver(i int) int { return int(p.recvs[i]) }
+
+// Candidates returns the i-th receiver's candidate list.
+func (p *SlotPlan) Candidates(i int) []Candidate { return p.cands[i] }
+
+// planArena is one worker's candidate storage, padded so neighboring
+// workers' slice-header updates never share a cache line. store backs the
+// published rxPlan slices and is reset (not freed) every slot; scratch is
+// the PlanReceiver append buffer. A store realloc mid-slot leaves earlier
+// published slices on the old backing — stale capacity, valid data — and
+// the arena reaches a stable high-water size within a few slots.
+type planArena struct {
+	store   []Candidate
+	scratch []Candidate
+	_       [16]byte
+}
+
+// idxChunk is one plan-phase chunk's list of awake-list indices that
+// produced at least one candidate, padded against false sharing. The
+// serial compaction walks these lists in chunk order — O(planned
+// receivers) — instead of rescanning the whole awake bucket.
+type idxChunk struct {
+	idx []int32
+	_   [40]byte
+}
+
+// planIntents is the sharded phase B for planner protocols: parallel
+// per-receiver candidate planning into per-worker arenas, serial
+// selection, a parallel FCFS packet-resolution pass, then the shared
+// serial admission (validation, one-tx-per-sender, syncRNG draws,
+// receiver grouping).
+func (e *engine) planIntents(t int64) error {
+	w := e.w
+	e.protoSlot = e.slotStream.SubValue(protoStreamKey)
+	list := w.awakeList
+	if cap(e.rxPlan) < len(list) {
+		e.rxPlan = make([][]Candidate, len(list))
+	}
+	e.rxPlan = e.rxPlan[:len(list)]
+	for i := range e.planArenas {
+		e.planArenas[i].store = e.planArenas[i].store[:0]
+	}
+	_, nchunks := e.pool.plan(len(list), planMinChunk)
+	for len(e.planIdx) < nchunks {
+		e.planIdx = append(e.planIdx, idxChunk{})
+	}
+	planIdx := e.planIdx[:nchunks]
+	e.pool.runShards(len(list), planMinChunk, func(worker, c, lo, hi int) {
+		a := &e.planArenas[worker]
+		ic := planIdx[c].idx[:0]
+		for k := lo; k < hi; k++ {
+			cands := e.planner.PlanReceiver(w, list[k], &e.protoSlot, a.scratch[:0])
+			a.scratch = cands
+			if len(cands) == 0 {
+				continue
+			}
+			start := len(a.store)
+			a.store = append(a.store, cands...)
+			e.rxPlan[k] = a.store[start:len(a.store):len(a.store)]
+			ic = append(ic, int32(k))
+		}
+		planIdx[c].idx = ic
+	})
+
+	// Serial compaction: receivers with candidates, ascending — chunk
+	// index lists in chunk order enumerate exactly the awake-list indices
+	// that planned something, so this walk is O(planned receivers), not
+	// O(awake). Entries of rxPlan outside those lists are stale garbage
+	// from earlier slots and are never read.
+	e.plan.recvs = e.plan.recvs[:0]
+	e.plan.cands = e.plan.cands[:0]
+	for ci := range planIdx {
+		for _, k := range planIdx[ci].idx {
+			c := e.rxPlan[k]
+			e.plan.recvs = append(e.plan.recvs, int32(list[k]))
+			e.plan.cands = append(e.plan.cands, c)
+			e.statPlanCands += int64(len(c))
+		}
+	}
+
+	e.planned = e.planned[:0]
+	e.planner.SelectIntents(w, &e.plan, e.emitFn)
+
+	// Resolve FCFS sentinels in parallel: the world is frozen between
+	// planning and phase D, so OldestNeeded here equals the serial path's
+	// at-emission scan.
+	e.pool.runShards(len(e.planned), fcfsMinChunk, func(_, _, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if e.planned[i].in.Packet == PacketFCFS {
+				e.planned[i].in.Packet = w.OldestNeeded(e.planned[i].in.From, e.planned[i].in.To)
+			}
+		}
+	})
+
+	// Admission into the flat receiver-group arena. SelectIntents emits
+	// receiver groups contiguously in ascending receiver order (see the
+	// ShardPlanner contract), so survivors append sequentially and each
+	// new receiver opens a group — no per-receiver bucket lookups and no
+	// sort.
+	e.rxList = e.rxList[:0]
+	e.rxFlat = e.rxFlat[:0]
+	e.rxOff = e.rxOff[:0]
+	lastTo := -1
+	for i := range e.planned {
+		in := e.planned[i].in
+		prr, ok, err := e.vetIntent(in, e.planned[i].prr, t)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		if in.To != lastTo {
+			if in.To < lastTo {
+				return fmt.Errorf("sim: planner %s emitted receiver %d after %d — SelectIntents must emit receiver groups in ascending order",
+					e.cfg.Protocol.Name(), in.To, lastTo)
+			}
+			e.rxList = append(e.rxList, in.To)
+			e.rxOff = append(e.rxOff, int32(len(e.rxFlat)))
+			lastTo = in.To
+		}
+		e.rxFlat = append(e.rxFlat, groupedTx{in: in, prr: prr})
+	}
+	e.rxOff = append(e.rxOff, int32(len(e.rxFlat)))
+	return nil
+}

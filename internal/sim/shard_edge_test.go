@@ -1,0 +1,245 @@
+package sim
+
+// Edge-case certification for the sharded path's pool and planner
+// machinery: degenerate worker/node ratios, single-candidate batches (the
+// inline fast path), and hyperperiods with empty awake buckets. Each case
+// pins the full Result against workers=1 on both time paths, plus — for
+// the RNG-free planner protocol — against the serial path itself.
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"ldcflood/internal/rngutil"
+	"ldcflood/internal/schedule"
+	"ldcflood/internal/topology"
+)
+
+// greedyPlanner is a deterministic, RNG-free protocol implemented both as
+// a serial Intents scan and as a ShardPlanner: each awake receiver is
+// served by its lowest-id unassigned neighbor holding a packet it needs.
+// The two implementations make identical decisions, so serial and sharded
+// runs must agree bit for bit wherever the engine's own draws are
+// degenerate (PRR 1, no sync errors) — giving the sim package a
+// planner-path oracle that does not depend on the flood protocols.
+type greedyPlanner struct {
+	assigned []bool
+	emitted  []int32
+	buf      []Intent
+}
+
+func (p *greedyPlanner) Name() string          { return "greedy-planner" }
+func (p *greedyPlanner) CollisionsApply() bool { return true }
+func (p *greedyPlanner) Overhears() bool       { return false }
+
+func (p *greedyPlanner) Reset(w *World) {
+	p.assigned = make([]bool, w.Graph.N())
+}
+
+func (p *greedyPlanner) Intents(w *World) []Intent {
+	out := p.buf[:0]
+	for _, r := range w.AwakeList() {
+		for _, l := range w.Graph.Neighbors(r) {
+			if p.assigned[l.To] {
+				continue
+			}
+			if pkt := w.OldestNeeded(l.To, r); pkt >= 0 {
+				p.assigned[l.To] = true
+				out = append(out, Intent{From: l.To, To: r, Packet: pkt})
+				break
+			}
+		}
+	}
+	p.buf = out
+	for _, in := range out {
+		p.assigned[in.From] = false
+	}
+	return out
+}
+
+func (p *greedyPlanner) PlanReceiver(w *World, r int, slot *rngutil.Stream, buf []Candidate) []Candidate {
+	for _, l := range w.Graph.Neighbors(r) {
+		if pkt := w.OldestNeeded(l.To, r); pkt >= 0 {
+			buf = append(buf, Candidate{Node: int32(l.To), Packet: int32(pkt), PRR: l.PRR})
+		}
+	}
+	return buf
+}
+
+func (p *greedyPlanner) SelectIntents(w *World, plan *SlotPlan, emit func(in Intent, prr float64)) {
+	sel := p.emitted[:0]
+	for i := 0; i < plan.Len(); i++ {
+		r := plan.Receiver(i)
+		for _, c := range plan.Candidates(i) {
+			if p.assigned[c.Node] {
+				continue
+			}
+			p.assigned[c.Node] = true
+			sel = append(sel, c.Node)
+			emit(Intent{From: int(c.Node), To: r, Packet: int(c.Packet)}, c.PRR)
+			break
+		}
+	}
+	for _, s := range sel {
+		p.assigned[s] = false
+	}
+	p.emitted = sel
+}
+
+var _ ShardPlanner = (*greedyPlanner)(nil)
+
+// lineGraph builds an n-node path with uniform link quality.
+func lineGraph(n int, prr float64) *topology.Graph {
+	g := topology.New(n)
+	for v := 1; v < n; v++ {
+		g.AddLink(v-1, v, prr)
+	}
+	g.SortNeighbors()
+	return g
+}
+
+// edgeRun executes the greedy planner protocol on the given schedules with
+// the requested worker count and time path.
+func edgeRun(t *testing.T, g *topology.Graph, scheds []*schedule.Schedule, workers int, compact bool) *Result {
+	t.Helper()
+	res, err := Run(Config{
+		Graph:            g,
+		Schedules:        scheds,
+		Protocol:         &greedyPlanner{},
+		M:                2,
+		Coverage:         1,
+		Seed:             7,
+		MaxSlots:         50000,
+		RecordReceptions: true,
+		Workers:          workers,
+		CompactTime:      compact,
+	})
+	if err != nil {
+		t.Fatalf("workers=%d compact=%v: %v", workers, compact, err)
+	}
+	return res
+}
+
+// checkEdgeCase pins every worker count in the list — plus the serial path
+// — against workers=1, on both time paths. The greedy planner is RNG-free
+// and the config draw-free (PRR 1, no sync errors, no capture), so all of
+// them must agree bit for bit.
+func checkEdgeCase(t *testing.T, g *topology.Graph, scheds []*schedule.Schedule, workerCounts []int) {
+	t.Helper()
+	base := edgeRun(t, g, scheds, 1, false)
+	if base.Transmissions == 0 {
+		t.Fatal("degenerate case: nothing happened, edge path not exercised")
+	}
+	if serial := edgeRun(t, g, scheds, 0, false); !reflect.DeepEqual(serial, base) {
+		t.Error("serial path diverged from sharded workers=1 on the deterministic subspace")
+	}
+	for _, wk := range workerCounts {
+		if got := edgeRun(t, g, scheds, wk, false); !reflect.DeepEqual(got, base) {
+			t.Errorf("workers=%d diverged from workers=1", wk)
+		}
+	}
+	cbase := edgeRun(t, g, scheds, 1, true)
+	if !reflect.DeepEqual(cbase, base) {
+		t.Error("compact path diverged from reference path at workers=1")
+	}
+	for _, wk := range workerCounts {
+		if got := edgeRun(t, g, scheds, wk, true); !reflect.DeepEqual(got, cbase) {
+			t.Errorf("compact workers=%d diverged from compact workers=1", wk)
+		}
+	}
+}
+
+// TestShardWorkersExceedNodes runs far more workers than nodes: every
+// batch has fewer items than pool slots, so most workers must park on
+// empty claim ranges without perturbing results.
+func TestShardWorkersExceedNodes(t *testing.T) {
+	g := lineGraph(4, 1)
+	checkEdgeCase(t, g, schedule.AssignStaggered(4, 2), []int{6, 32})
+}
+
+// TestShardNumCPUWorkers pins workers=runtime.NumCPU() — the value
+// production callers pass — against workers=1, alongside the chaos
+// configuration used by the invariance suite.
+func TestShardNumCPUWorkers(t *testing.T) {
+	ncpu := runtime.NumCPU()
+	if ncpu < 2 {
+		ncpu = 2
+	}
+	g := lineGraph(24, 1)
+	checkEdgeCase(t, g, schedule.AssignStaggered(24, 4), []int{ncpu})
+	for seed := uint64(0); seed < 4; seed++ {
+		base := chaosRun(t, seed, 1, false)
+		if got := chaosRun(t, seed, ncpu, false); !reflect.DeepEqual(got, base) {
+			t.Errorf("seed %d: workers=NumCPU(%d) diverged from workers=1", seed, ncpu)
+		}
+	}
+}
+
+// TestShardSingleAwakeNodeSlots gives every node its own exclusive slot
+// (period n, one node per phase): every awake bucket has exactly one
+// receiver, so every planner batch takes the single-chunk inline path and
+// the merge phase sees at most one success per slot.
+func TestShardSingleAwakeNodeSlots(t *testing.T) {
+	const n = 10
+	g := lineGraph(n, 1)
+	scheds := make([]*schedule.Schedule, n)
+	for i := range scheds {
+		scheds[i] = schedule.NewSingleSlot(n, i)
+	}
+	checkEdgeCase(t, g, scheds, []int{4, 16})
+}
+
+// TestShardZeroAwakeGaps aligns every node on phase 0 of a period-8
+// schedule: seven of every eight slots have an empty awake bucket, so the
+// sharded resolver must repeatedly handle zero-item batches (and the
+// compact path must skip the gaps identically).
+func TestShardZeroAwakeGaps(t *testing.T) {
+	const n = 12
+	g := lineGraph(n, 1)
+	scheds := make([]*schedule.Schedule, n)
+	for i := range scheds {
+		scheds[i] = schedule.NewSingleSlot(8, 0)
+	}
+	checkEdgeCase(t, g, scheds, []int{4})
+}
+
+// TestShardStatsOutParam certifies the Config.ShardStats out-parameter:
+// attaching it never perturbs results, and after a run with forced
+// multi-chunk batches its accounting is internally consistent.
+func TestShardStatsOutParam(t *testing.T) {
+	restore := setMinChunk(1)
+	defer restore()
+	g := lineGraph(24, 1)
+	scheds := schedule.AssignStaggered(24, 4)
+	plain := edgeRun(t, g, scheds, 4, false)
+
+	var st ShardStats
+	res, err := Run(Config{
+		Graph:            g,
+		Schedules:        scheds,
+		Protocol:         &greedyPlanner{},
+		M:                2,
+		Coverage:         1,
+		Seed:             7,
+		MaxSlots:         50000,
+		RecordReceptions: true,
+		Workers:          4,
+		ShardStats:       &st,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, plain) {
+		t.Fatal("attaching ShardStats changed the result")
+	}
+	if st.Batches <= 0 || st.Chunks < st.Batches || st.Items < st.Chunks {
+		t.Fatalf("implausible batch accounting: %+v", st)
+	}
+	if st.WorkNS <= 0 || st.SpanNS <= 0 || st.BatchWallNS <= 0 {
+		t.Fatalf("missing timing accounting: %+v", st)
+	}
+	if st.SpanNS > st.WorkNS+st.BatchWallNS {
+		t.Fatalf("modeled span exceeds any plausible bound: %+v", st)
+	}
+}

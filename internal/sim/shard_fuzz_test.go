@@ -1,0 +1,56 @@
+package sim
+
+// Fuzz target for the sharded merge path: randomized chunk sizes, worker
+// counts, awake distributions (via the chaos configuration's random graph
+// + schedule periods) and fault schedules, asserting the two byte-identity
+// contracts on every input — worker-count invariance for arbitrary
+// configurations, and serial equivalence on the deterministic subspace
+// where the RNG conventions coincide.
+
+import (
+	"reflect"
+	"testing"
+
+	"ldcflood/internal/schedule"
+)
+
+// FuzzShardMerge drives the sharded resolver through adversarial
+// (chunk size, worker count, fault family, topology) combinations.
+func FuzzShardMerge(f *testing.F) {
+	// Seed corpus: every fault family (seed % 4), the tiniest and the
+	// default chunk floors, worker counts straddling the chunk count.
+	f.Add(uint64(0), uint8(0), uint8(0))
+	f.Add(uint64(1), uint8(3), uint8(1))
+	f.Add(uint64(2), uint8(63), uint8(5))
+	f.Add(uint64(3), uint8(7), uint8(3))
+	f.Add(uint64(11), uint8(1), uint8(2))
+	f.Add(uint64(42), uint8(15), uint8(4))
+	f.Fuzz(func(t *testing.T, seed uint64, minChunkRaw, workersRaw uint8) {
+		restore := setMinChunk(1 + int(minChunkRaw)%64)
+		defer restore()
+		workers := 2 + int(workersRaw)%6
+
+		// Contract 1: worker-count invariance under chaos — protocol
+		// randomness, sync errors, capture, faults — on both time paths.
+		base := chaosRun(t, seed, 1, false)
+		if got := chaosRun(t, seed, workers, false); !reflect.DeepEqual(got, base) {
+			t.Fatalf("seed %d: workers %d diverged from workers 1", seed, workers)
+		}
+		cbase := chaosRun(t, seed, 1, true)
+		if got := chaosRun(t, seed, workers, true); !reflect.DeepEqual(got, cbase) {
+			t.Fatalf("seed %d: compact workers %d diverged from compact workers 1", seed, workers)
+		}
+
+		// Contract 2: on the deterministic subspace (RNG-free planner
+		// protocol, PRR 1, no engine draws) the merge must also reproduce
+		// the serial path exactly.
+		n := 4 + int(seed%13)
+		g := lineGraph(n, 1)
+		period := 1 + int(seed/4)%8
+		scheds := schedule.AssignStaggered(n, period)
+		serial := edgeRun(t, g, scheds, 0, false)
+		if got := edgeRun(t, g, scheds, workers, false); !reflect.DeepEqual(got, serial) {
+			t.Fatalf("seed %d: deterministic sharded workers %d diverged from serial", seed, workers)
+		}
+	})
+}

@@ -45,6 +45,18 @@ type simTel struct {
 	dropped    *telemetry.Counter
 	chainFlips *telemetry.Counter
 
+	// Sharded-path instruments, nil when Workers == 0. The batch/chunk
+	// counters drain the pool's claim accounting; the planner/merge
+	// counters drain the engine's deterministic per-slot tallies (their
+	// values are independent of worker count and of whether telemetry is
+	// attached — attaching a registry never changes results).
+	shardBatches *telemetry.Counter
+	shardChunks  *telemetry.Counter
+	shardItems   *telemetry.Counter
+	planCands    *telemetry.Counter
+	mergeRecv    *telemetry.Counter
+	mergeOhCands *telemetry.Counter
+
 	visited int64 // slots this run has visited (== slot loop iterations)
 	prev    telPrev
 }
@@ -55,6 +67,9 @@ type telPrev struct {
 	injected, covered                           int
 	crashes, reboots, dropped                   int
 	flips                                       int64
+
+	shardBatches, shardChunks, shardItems int64
+	planCands, mergeRecv, mergeOhCands    int64
 }
 
 // newSimTel resolves the sim counter set against reg and counts the run
@@ -72,7 +87,7 @@ func newSimTel(reg *telemetry.Registry, compact bool, workers int) *simTel {
 		reg.Counter("sim.path.sharded").Inc()
 		reg.Gauge("sim.workers").Set(int64(workers))
 	}
-	return &simTel{
+	st := &simTel{
 		slotsVisited: reg.Counter("sim.slots.visited"),
 		slotsSkipped: reg.Counter("sim.slots.skipped"),
 		txAttempts:   reg.Counter("sim.tx.attempts"),
@@ -91,6 +106,15 @@ func newSimTel(reg *telemetry.Registry, compact bool, workers int) *simTel {
 		dropped:      reg.Counter("fault.packets_dropped"),
 		chainFlips:   reg.Counter("fault.chain_flips"),
 	}
+	if workers > 0 {
+		st.shardBatches = reg.Counter("sim.shard.batches")
+		st.shardChunks = reg.Counter("sim.shard.chunks")
+		st.shardItems = reg.Counter("sim.shard.items")
+		st.planCands = reg.Counter("sim.shard.planner.candidates")
+		st.mergeRecv = reg.Counter("sim.shard.merge.receivers")
+		st.mergeOhCands = reg.Counter("sim.shard.merge.overhear_cands")
+	}
+	return st
 }
 
 // tick is called once per visited slot by both execution paths. It keeps
@@ -108,6 +132,14 @@ func (st *simTel) tick(e *engine) {
 func addDelta(c *telemetry.Counter, cur int, prev *int) {
 	if d := cur - *prev; d != 0 {
 		c.Add(int64(d))
+		*prev = cur
+	}
+}
+
+// addDelta64 is addDelta for int64 accumulators.
+func addDelta64(c *telemetry.Counter, cur int64, prev *int64) {
+	if d := cur - *prev; d != 0 {
+		c.Add(d)
 		*prev = cur
 	}
 }
@@ -140,6 +172,14 @@ func (st *simTel) flush(e *engine) {
 			st.chainFlips.Add(d)
 			st.prev.flips = e.inj.ChainFlips()
 		}
+	}
+	if st.shardBatches != nil {
+		addDelta64(st.shardBatches, e.pool.batches, &st.prev.shardBatches)
+		addDelta64(st.shardChunks, e.pool.chunks, &st.prev.shardChunks)
+		addDelta64(st.shardItems, e.pool.items, &st.prev.shardItems)
+		addDelta64(st.planCands, e.statPlanCands, &st.prev.planCands)
+		addDelta64(st.mergeRecv, e.statMergeRecv, &st.prev.mergeRecv)
+		addDelta64(st.mergeOhCands, e.statOhCands, &st.prev.mergeOhCands)
 	}
 }
 

@@ -176,3 +176,122 @@ func TestTelemetryCompactPathCounters(t *testing.T) {
 		t.Errorf("reference path visited %d slots, want %d", snap2["sim.slots.visited"], res.TotalSlots)
 	}
 }
+
+// TestTelemetryShardedCounters certifies the sharded-path instrument set:
+// attaching a registry to a Workers>0 run is invisible to results, the
+// path/worker gauges report the mode, the pool counters drain the claim
+// accounting exactly, and the planner/merge counters are deterministic —
+// identical across worker counts and across repeated runs.
+func TestTelemetryShardedCounters(t *testing.T) {
+	// The 12-node config never outgrows the per-phase chunk floors, so pin
+	// the floor at one item to force real multi-chunk batches through the
+	// pool (the same hook the stress and fuzz suites use).
+	restore := setMinChunk(1)
+	defer restore()
+	cfg := telTestConfig(false)
+	cfg.Workers = 4
+
+	plain, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.New()
+	cfg.Telemetry = reg
+	instrumented, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, instrumented) {
+		t.Fatal("attaching telemetry changed a sharded run's result")
+	}
+
+	snap := reg.Snapshot()
+	if got := snap["sim.path.sharded"]; got != 1 {
+		t.Errorf("sim.path.sharded = %d, want 1", got)
+	}
+	if got := snap["sim.workers"]; got != 4 {
+		t.Errorf("sim.workers = %d, want 4", got)
+	}
+	for _, name := range []string{"sim.shard.batches", "sim.shard.chunks", "sim.shard.items", "sim.shard.merge.receivers"} {
+		if snap[name] <= 0 {
+			t.Errorf("%s = %d, want > 0", name, snap[name])
+		}
+	}
+	if snap["sim.shard.chunks"] < snap["sim.shard.batches"] {
+		t.Error("fewer chunks than batches: claim accounting is inconsistent")
+	}
+	// FuncProtocol has no planner, so phase B plans nothing.
+	if got := snap["sim.shard.planner.candidates"]; got != 0 {
+		t.Errorf("sim.shard.planner.candidates = %d, want 0 for a non-planner protocol", got)
+	}
+
+	// The merge counters tally deterministic per-slot quantities: they must
+	// not move with the worker count (the batch/chunk split legitimately
+	// does).
+	reg2 := telemetry.New()
+	cfg2 := telTestConfig(false)
+	cfg2.Workers = 2
+	cfg2.Telemetry = reg2
+	if _, err := Run(cfg2); err != nil {
+		t.Fatal(err)
+	}
+	snap2 := reg2.Snapshot()
+	for _, name := range []string{"sim.shard.merge.receivers", "sim.shard.merge.overhear_cands", "sim.shard.items"} {
+		if snap[name] != snap2[name] {
+			t.Errorf("%s moved with worker count: %d at w=4, %d at w=2",
+				name, snap[name], snap2[name])
+		}
+	}
+
+	// A serial run must register none of the sharded instruments.
+	reg3 := telemetry.New()
+	cfg3 := telTestConfig(false)
+	cfg3.Telemetry = reg3
+	if _, err := Run(cfg3); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reg3.Snapshot()["sim.shard.batches"]; ok {
+		t.Error("serial run registered sharded instruments")
+	}
+}
+
+// TestTelemetryPlannerCounters runs a ShardPlanner protocol and checks the
+// planner-phase instruments move and stay worker-count-invariant.
+func TestTelemetryPlannerCounters(t *testing.T) {
+	run := func(workers int) (map[string]int64, *Result) {
+		reg := telemetry.New()
+		g := lineGraph(16, 0.9)
+		res, err := Run(Config{
+			Graph:     g,
+			Schedules: schedule.AssignStaggered(16, 4),
+			Protocol:  &greedyPlanner{},
+			M:         3,
+			Coverage:  1,
+			Seed:      11,
+			MaxSlots:  50000,
+			Workers:   workers,
+			Telemetry: reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return reg.Snapshot(), res
+	}
+	snap4, res4 := run(4)
+	if got := snap4["sim.shard.planner.candidates"]; got <= 0 {
+		t.Errorf("sim.shard.planner.candidates = %d, want > 0 for a planner protocol", got)
+	}
+	if got, want := snap4["sim.shard.merge.receivers"], int64(res4.Transmissions); got != want {
+		t.Errorf("sim.shard.merge.receivers = %d, want %d (every admitted transmission)", got, want)
+	}
+	snap1, res1 := run(1)
+	if !reflect.DeepEqual(res1, res4) {
+		t.Fatal("worker count changed the planner run's result")
+	}
+	for _, name := range []string{"sim.shard.planner.candidates", "sim.shard.merge.receivers", "sim.shard.merge.overhear_cands"} {
+		if snap1[name] != snap4[name] {
+			t.Errorf("%s moved with worker count: %d at w=1, %d at w=4",
+				name, snap1[name], snap4[name])
+		}
+	}
+}
