@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race bench bench-engine bench-scale bench-guard docscheck figures figures-quick faults fuzz-faults fuzz-shard examples clean
+.PHONY: all build vet test test-short test-race bench bench-engine bench-scale bench-guard docscheck figures figures-quick faults floodd-smoke fuzz-faults fuzz-shard examples clean
 
 all: build vet test
 
@@ -60,6 +60,12 @@ figures-quick:
 # The fault-injection resilience experiment (docs/FAULTS.md).
 faults:
 	$(GO) run ./cmd/figures -fig faults -quick
+
+# Black-box smoke of the job daemon (docs/SERVICE.md): boot floodd on an
+# ephemeral port, submit a tiny sweep with curl, assert the result CSV
+# and the telemetry mount, drain on SIGTERM. Mirrored in CI.
+floodd-smoke:
+	sh scripts/floodd-smoke.sh
 
 # Randomized fault schedules vs engine invariants and compact-path
 # equivalence; CI runs a 10s smoke of this.

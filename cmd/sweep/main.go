@@ -40,25 +40,17 @@ package main
 
 import (
 	"context"
-	"encoding/csv"
 	"flag"
 	"fmt"
-	"hash/fnv"
 	"io"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
-	"ldcflood/internal/fault"
-	"ldcflood/internal/flood"
-	"ldcflood/internal/rngutil"
 	"ldcflood/internal/runner"
-	"ldcflood/internal/schedule"
-	"ldcflood/internal/sim"
-	"ldcflood/internal/stats"
+	"ldcflood/internal/service"
 	"ldcflood/internal/telemetry"
-	"ldcflood/internal/topology"
 )
 
 func main() {
@@ -127,12 +119,6 @@ func main() {
 	}
 }
 
-type cell struct {
-	protocol string
-	duty     float64
-	seed     uint64
-}
-
 type sweepConfig struct {
 	protocolsCSV string
 	dutiesCSV    string
@@ -158,105 +144,53 @@ type sweepConfig struct {
 	debugReady func(url string)
 }
 
-// journalKey identifies the grid a journal belongs to: every parameter
-// that changes the simulation output, including the fault spec itself (not
-// its file name, so an edited spec invalidates old checkpoints) and the
-// engine discipline (serial vs sharded — two different, individually
-// deterministic RNG streams). The exact shard-worker count is NOT keyed:
-// every count >= 1 produces identical results by construction, so a
-// journal written at -workers 1 resumes cleanly at -workers 4.
-func (sc sweepConfig) journalKey(faultJSON []byte, shardWorkers int) string {
-	h := fnv.New64a()
-	h.Write(faultJSON)
-	return fmt.Sprintf("sweep|protocols=%s|duties=%s|seeds=%d|m=%d|coverage=%g|toposeed=%d|syncerr=%g|compact=%v|sharded=%v|faults=%x",
-		sc.protocolsCSV, sc.dutiesCSV, sc.seeds, sc.m, sc.coverage, sc.topoSeed, sc.syncErr, sc.compact, shardWorkers > 0, h.Sum64())
-}
-
-func run(w io.Writer, sc sweepConfig) error {
-	protocols := strings.Split(sc.protocolsCSV, ",")
-	for i := range protocols {
-		protocols[i] = strings.TrimSpace(protocols[i])
-		if _, err := flood.New(protocols[i]); err != nil {
-			return err
-		}
+// spec translates the flag set into the shared service.Spec — the same
+// surface POST /v1/jobs validates — so a flag sweep and an HTTP job
+// compile to the identical grid, journal key, and CSV bytes.
+func (sc sweepConfig) spec() (service.Spec, error) {
+	spec := service.Spec{
+		Protocols: strings.Split(sc.protocolsCSV, ","),
+		Seeds:     sc.seeds,
+		M:         sc.m,
+		Coverage:  sc.coverage,
+		TopoSeed:  sc.topoSeed,
+		SyncErr:   sc.syncErr,
+		Compact:   sc.compact,
+		Workers:   sc.workers,
+		Parallel:  sc.parallel,
+		Timeout:   service.Duration(sc.timeout),
+		Retries:   sc.retries,
+		Backoff:   service.Duration(sc.backoff),
 	}
-	var duties []float64
 	for _, d := range strings.Split(sc.dutiesCSV, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(d), 64)
 		if err != nil {
-			return fmt.Errorf("bad duty %q: %v", d, err)
+			return spec, fmt.Errorf("bad duty %q: %v", d, err)
 		}
-		if v <= 0 || v > 1 {
-			return fmt.Errorf("duty %v outside (0,1]", v)
-		}
-		duties = append(duties, v)
+		spec.Duties = append(spec.Duties, v)
 	}
-	if sc.seeds < 1 {
-		return fmt.Errorf("need at least one seed")
-	}
-	if sc.m < 1 {
-		return fmt.Errorf("need m >= 1")
-	}
-
-	g := topology.GreenOrbs(sc.topoSeed)
-	var spec *fault.Schedule
-	var faultJSON []byte
 	if sc.faultsPath != "" {
-		var err error
-		if faultJSON, err = os.ReadFile(sc.faultsPath); err != nil {
-			return err
-		}
-		if spec, err = fault.Parse(faultJSON); err != nil {
-			return err
-		}
-		if err := spec.Validate(g); err != nil {
-			return err
-		}
-	}
-	var cells []cell
-	for _, p := range protocols {
-		for _, d := range duties {
-			for s := 0; s < sc.seeds; s++ {
-				cells = append(cells, cell{protocol: p, duty: d, seed: uint64(s)})
-			}
-		}
-	}
-	// Resolve the engine discipline before jobs are built: -workers -1
-	// splits the machine budget between batch-level and shard-level
-	// parallelism (both layers are deterministic, so the CSV is identical
-	// for every split).
-	batchWorkers, shardWorkers := sc.parallel, sc.workers
-	if sc.workers < 0 {
-		batchWorkers, shardWorkers = runner.SplitParallelism(sc.parallel, len(cells))
-	}
-
-	jobs := make([]sim.Config, len(cells))
-	for i, c := range cells {
-		p, err := flood.New(c.protocol)
+		faultJSON, err := os.ReadFile(sc.faultsPath)
 		if err != nil {
-			return err
+			return spec, err
 		}
-		period := schedule.PeriodForDuty(c.duty)
-		jobs[i] = sim.Config{
-			Graph:         g,
-			Schedules:     schedule.AssignUniform(g.N(), period, rngutil.New(c.seed).SubName("schedule")),
-			Protocol:      p,
-			M:             sc.m,
-			Coverage:      sc.coverage,
-			Seed:          c.seed,
-			SyncErrorProb: sc.syncErr,
-			Faults:        spec,
-			CompactTime:   sc.compact,
-			Workers:       shardWorkers,
-		}
+		spec.Faults = faultJSON
 	}
+	return spec, nil
+}
 
-	ropts := runner.Options{
-		Workers:      batchWorkers,
-		Timeout:      sc.timeout,
-		Retries:      sc.retries,
-		RetryBackoff: sc.backoff,
+func run(w io.Writer, sc sweepConfig) error {
+	spec, err := sc.spec()
+	if err != nil {
+		return err
 	}
+	grid, err := service.Compile(spec)
+	if err != nil {
+		return err
+	}
+	jobs := grid.Jobs
+
+	ropts := grid.Options()
 	if sc.debugAddr != "" || sc.statsOut != nil {
 		reg := telemetry.New()
 		ropts.Telemetry = reg
@@ -283,7 +217,7 @@ func run(w io.Writer, sc sweepConfig) error {
 		}
 	}
 	if sc.journalPath != "" {
-		j, err := runner.OpenJournal(sc.journalPath, sc.journalKey(faultJSON, shardWorkers), sc.resume)
+		j, err := runner.OpenJournal(sc.journalPath, grid.JournalKey(), sc.resume)
 		if err != nil {
 			return err
 		}
@@ -301,64 +235,5 @@ func run(w io.Writer, sc sweepConfig) error {
 		ropts.Progress = runner.ProgressPrinter(sc.progress, time.Second)
 	}
 	rs, _ := runner.Run(context.Background(), jobs, ropts)
-	for i := range rs {
-		if rs[i].Err != nil {
-			c := cells[i]
-			return fmt.Errorf("%s at duty %v seed %d: %w", c.protocol, c.duty, c.seed, rs[i].Err)
-		}
-	}
-
-	cw := csv.NewWriter(w)
-	header := []string{
-		"protocol", "duty", "period", "seed",
-		"mean_delay", "p50_delay", "p99_delay",
-		"transmissions", "failures", "loss", "collision", "busy", "sync", "jam",
-		"overheard", "crashes", "reboots", "total_slots", "completed",
-	}
-	if err := cw.Write(header); err != nil {
-		return err
-	}
-	for i := range rs {
-		if err := cw.Write(row(cells[i], rs[i].Res)); err != nil {
-			return err
-		}
-	}
-	cw.Flush()
-	return cw.Error()
-}
-
-// row formats one finished cell as a CSV record.
-func row(c cell, res *sim.Result) []string {
-	var delays []float64
-	for _, d := range res.Delay {
-		if d >= 0 {
-			delays = append(delays, float64(d))
-		}
-	}
-	p50, p99 := "", ""
-	if len(delays) > 0 {
-		p50 = fmt.Sprintf("%.1f", stats.Percentile(delays, 50))
-		p99 = fmt.Sprintf("%.1f", stats.Percentile(delays, 99))
-	}
-	return []string{
-		res.Protocol,
-		fmt.Sprintf("%.4f", c.duty),
-		fmt.Sprintf("%d", schedule.PeriodForDuty(c.duty)),
-		fmt.Sprintf("%d", c.seed),
-		fmt.Sprintf("%.1f", res.MeanDelay()),
-		p50,
-		p99,
-		fmt.Sprintf("%d", res.Transmissions),
-		fmt.Sprintf("%d", res.Failures()),
-		fmt.Sprintf("%d", res.LossFailures),
-		fmt.Sprintf("%d", res.CollisionFailures),
-		fmt.Sprintf("%d", res.BusyFailures),
-		fmt.Sprintf("%d", res.SyncFailures),
-		fmt.Sprintf("%d", res.JamFailures),
-		fmt.Sprintf("%d", res.Overheard),
-		fmt.Sprintf("%d", res.Crashes),
-		fmt.Sprintf("%d", res.Reboots),
-		fmt.Sprintf("%d", res.TotalSlots),
-		fmt.Sprintf("%v", res.Completed),
-	}
+	return grid.WriteCSV(w, rs)
 }

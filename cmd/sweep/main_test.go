@@ -2,11 +2,13 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"errors"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -15,6 +17,7 @@ import (
 	"time"
 
 	"ldcflood/internal/runner"
+	"ldcflood/internal/service"
 )
 
 // testConfig returns a small, fast sweep configuration; tests override
@@ -359,4 +362,76 @@ func httpGet(t *testing.T, url string) string {
 		t.Fatalf("GET %s: %s\n%s", url, resp.Status, body)
 	}
 	return string(body)
+}
+
+// TestRunMatchesServiceResult is the service-parity acceptance check: the
+// same grid submitted as an HTTP job to internal/service must yield a
+// result byte-identical to this command's CSV, because both compile
+// through service.Compile and render through Grid.WriteCSV.
+func TestRunMatchesServiceResult(t *testing.T) {
+	sc := testConfig()
+	sc.protocolsCSV = "opt,dbao"
+	sc.seeds = 2
+	sc.faultsPath = writeFaultSpec(t)
+
+	var want bytes.Buffer
+	if err := run(&want, sc); err != nil {
+		t.Fatal(err)
+	}
+
+	svc, err := service.New(service.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		svc.Drain(ctx)
+	}()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	spec, err := sc.spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st service.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /v1/jobs = %d", resp.StatusCode)
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		j, ok := svc.Job(st.ID)
+		if !ok {
+			t.Fatalf("job %s vanished", st.ID)
+		}
+		if s := j.State(); s.Terminal() {
+			if s != service.StateDone {
+				t.Fatalf("job %s = %s (%s)", st.ID, s, j.Status().Error)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job did not finish within 60s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	got := httpGet(t, ts.URL+"/v1/jobs/"+st.ID+"/result")
+	if got != want.String() {
+		t.Fatalf("HTTP job result differs from cmd/sweep output:\n%s\nvs\n%s", got, want.String())
+	}
 }

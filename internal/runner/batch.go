@@ -1,0 +1,88 @@
+package runner
+
+// Batch is the asynchronous job handle over Run. Callers that own the
+// batch loop (cmd/sweep, cmd/figures) keep calling Run directly; callers
+// that schedule batches on behalf of others — internal/service's job API,
+// where an HTTP handler must cancel or inspect a batch it did not start —
+// use Start and hold the returned *Batch.
+
+import (
+	"context"
+	"sync"
+
+	"ldcflood/internal/sim"
+)
+
+// Batch is a handle on a batch started with Start: it can be cancelled
+// (with a cause), waited on, and inspected for live progress without
+// owning the goroutine that runs it. All methods are safe for concurrent
+// use.
+type Batch struct {
+	cancel context.CancelCauseFunc
+	done   chan struct{}
+
+	mu   sync.Mutex
+	last Progress
+
+	// results/stats are written once, before done closes; Wait
+	// synchronizes on done so readers never race the writer.
+	results Results
+	stats   Stats
+}
+
+// Start launches Run(ctx, jobs, opts) on its own goroutine and returns a
+// handle to it. The batch observes ctx like Run does; Cancel adds a
+// second, cause-carrying cancellation path. The handle wraps
+// opts.Progress (the caller's hook, when set, still runs) to keep the
+// latest snapshot readable via Progress.
+func Start(ctx context.Context, jobs []sim.Config, opts Options) *Batch {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithCancelCause(ctx)
+	b := &Batch{cancel: cancel, done: make(chan struct{})}
+	hook := opts.Progress
+	opts.Progress = func(p Progress) {
+		b.mu.Lock()
+		b.last = p
+		b.mu.Unlock()
+		if hook != nil {
+			hook(p)
+		}
+	}
+	go func() {
+		defer close(b.done)
+		// Release the context's resources once the batch is over, keeping
+		// the first cancellation cause if one was delivered.
+		defer cancel(nil)
+		b.results, b.stats = Run(ctx, jobs, opts)
+	}()
+	return b
+}
+
+// Cancel cancels the batch with the given cause. Pass ErrShutdown (or an
+// error wrapping it) to mark the interruption as a drain — affected jobs
+// then fail with KindShutdown instead of KindCanceled. A nil cause is an
+// ordinary cancellation (KindCanceled, unwrapping to context.Canceled).
+// Cancel after completion, or a second Cancel, is a no-op.
+func (b *Batch) Cancel(cause error) { b.cancel(cause) }
+
+// Done returns a channel closed when the batch has finished (all jobs
+// completed, failed, or cancelled).
+func (b *Batch) Done() <-chan struct{} { return b.done }
+
+// Wait blocks until the batch finishes and returns what Run returned: one
+// Result per job in input order, plus batch statistics. It may be called
+// from any number of goroutines; all receive the same values.
+func (b *Batch) Wait() (Results, Stats) {
+	<-b.done
+	return b.results, b.stats
+}
+
+// Progress returns the most recent progress snapshot, or the zero
+// Progress before the first job lands.
+func (b *Batch) Progress() Progress {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.last
+}

@@ -1,0 +1,120 @@
+package runner_test
+
+// Tests for the asynchronous Batch handle and the KindShutdown
+// cancellation-cause classification it enables.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"ldcflood/internal/runner"
+	"ldcflood/internal/sim"
+)
+
+func TestBatchWaitMatchesRun(t *testing.T) {
+	jobs := []sim.Config{quickJob(1), quickJob(2), quickJob(3)}
+	want, _ := runner.Run(context.Background(), jobs, runner.Options{Workers: 2})
+
+	b := runner.Start(context.Background(), jobs, runner.Options{Workers: 2})
+	rs, stats := b.Wait()
+	if stats.Jobs != 3 || stats.Failed != 0 {
+		t.Fatalf("stats = %+v, want 3 jobs 0 failed", stats)
+	}
+	for i := range rs {
+		if rs[i].Err != nil {
+			t.Fatalf("job %d failed: %v", i, rs[i].Err)
+		}
+		if rs[i].Res.TotalSlots != want[i].Res.TotalSlots {
+			t.Fatalf("job %d diverged from synchronous Run", i)
+		}
+	}
+	select {
+	case <-b.Done():
+	default:
+		t.Fatal("Done() not closed after Wait returned")
+	}
+	// A second Wait returns the same values.
+	rs2, _ := b.Wait()
+	if len(rs2) != len(rs) {
+		t.Fatalf("second Wait returned %d results", len(rs2))
+	}
+}
+
+func TestBatchProgressSnapshot(t *testing.T) {
+	jobs := []sim.Config{quickJob(1), quickJob(2)}
+	var hookCalls int
+	b := runner.Start(nil, jobs, runner.Options{
+		Workers:  1,
+		Progress: func(runner.Progress) { hookCalls++ },
+	})
+	b.Wait()
+	if p := b.Progress(); p.Done != 2 || p.Total != 2 {
+		t.Fatalf("final Progress = %+v, want Done=2 Total=2", p)
+	}
+	if hookCalls != 2 {
+		t.Fatalf("caller hook ran %d times, want 2 (wrapping must preserve it)", hookCalls)
+	}
+}
+
+// TestBatchCancelShutdownKind: cancelling with ErrShutdown classifies
+// interrupted jobs as KindShutdown, distinguishable from a user cancel
+// without string matching, while plain cancellation stays KindCanceled.
+func TestBatchCancelShutdownKind(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		cause    error
+		wantKind runner.Kind
+	}{
+		{"shutdown", runner.ErrShutdown, runner.KindShutdown},
+		{"wrapped shutdown", fmt.Errorf("draining: %w", runner.ErrShutdown), runner.KindShutdown},
+		{"user", errors.New("user clicked cancel"), runner.KindCanceled},
+		{"nil", nil, runner.KindCanceled},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			// One stuck job keeps the batch alive until Cancel; trailing
+			// jobs never start and fail on the pre-start check, covering
+			// both classification sites.
+			jobs := []sim.Config{stuckJob(1), quickJob(2), quickJob(3)}
+			b := runner.Start(context.Background(), jobs, runner.Options{Workers: 1})
+			time.Sleep(10 * time.Millisecond)
+			b.Cancel(tc.cause)
+			rs, _ := b.Wait()
+
+			var je *runner.JobError
+			if !errors.As(rs[0].Err, &je) {
+				t.Fatalf("job 0 error = %v, want *JobError", rs[0].Err)
+			}
+			if je.Kind != tc.wantKind {
+				t.Fatalf("running job Kind = %v, want %v", je.Kind, tc.wantKind)
+			}
+			if !errors.As(rs[2].Err, &je) {
+				t.Fatalf("job 2 error = %v, want *JobError", rs[2].Err)
+			}
+			if je.Kind != tc.wantKind {
+				t.Fatalf("unstarted job Kind = %v, want %v", je.Kind, tc.wantKind)
+			}
+			// Every flavor of cancellation still satisfies ErrCanceled.
+			if !errors.Is(rs[0].Err, runner.ErrCanceled) {
+				t.Fatalf("cancelled job does not unwrap to ErrCanceled: %v", rs[0].Err)
+			}
+			if tc.wantKind == runner.KindShutdown && !errors.Is(rs[0].Err, runner.ErrShutdown) {
+				t.Fatalf("shutdown job does not unwrap to ErrShutdown: %v", rs[0].Err)
+			}
+			if tc.cause == nil && !errors.Is(rs[0].Err, context.Canceled) {
+				t.Fatalf("cause-less cancel lost context.Canceled: %v", rs[0].Err)
+			}
+		})
+	}
+}
+
+func TestShutdownKindNotRetryable(t *testing.T) {
+	if runner.KindShutdown.Retryable() {
+		t.Fatal("KindShutdown must not be retryable")
+	}
+	if runner.KindShutdown.String() != "shutdown" {
+		t.Fatalf("KindShutdown.String() = %q", runner.KindShutdown.String())
+	}
+}

@@ -22,6 +22,12 @@ const (
 	// KindCanceled: the batch context was cancelled before or while the
 	// job ran.
 	KindCanceled
+	// KindShutdown: the batch context was cancelled with ErrShutdown as
+	// its cause (context.WithCancelCause) — the process is draining, not
+	// the user abandoning the job. Callers that checkpoint work (a
+	// journal-backed job queue) use this to requeue the job for resume
+	// instead of marking it terminally cancelled.
+	KindShutdown
 )
 
 // Retryable reports whether failures of this kind may succeed on a
@@ -35,7 +41,7 @@ const (
 //     failures, deterministic in the Config.
 //   - KindSlotLimit: no — simulated time is deterministic; the job would
 //     hit the same limit again.
-//   - KindCanceled: no — the batch is shutting down.
+//   - KindCanceled, KindShutdown: no — the batch is being torn down.
 func (k Kind) Retryable() bool {
 	return k == KindTimeout || k == KindPanic
 }
@@ -53,6 +59,8 @@ func (k Kind) String() string {
 		return "slot limit"
 	case KindCanceled:
 		return "canceled"
+	case KindShutdown:
+		return "shutdown"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -64,6 +72,13 @@ var (
 	ErrTimeout   = errors.New("runner: job exceeded wall-clock timeout")
 	ErrSlotLimit = errors.New("runner: job exceeded slot limit")
 	ErrCanceled  = errors.New("runner: batch canceled")
+	// ErrShutdown doubles as the cancellation *cause* callers pass to
+	// signal a drain: cancel the batch context via context.WithCancelCause
+	// (or Batch.Cancel) with ErrShutdown — or an error wrapping it — and
+	// every interrupted job fails with KindShutdown instead of
+	// KindCanceled, so "the server is restarting" is distinguishable from
+	// "the user abandoned this job" without string matching.
+	ErrShutdown = errors.New("runner: batch shut down")
 )
 
 // JobError reports one failed job. It wraps both the sentinel for its Kind
@@ -106,6 +121,10 @@ func (e *JobError) Unwrap() []error {
 		out = append(out, ErrSlotLimit)
 	case KindCanceled:
 		out = append(out, ErrCanceled)
+	case KindShutdown:
+		// A shutdown is still a cancellation: errors.Is(err, ErrCanceled)
+		// keeps working for callers that don't care why the batch stopped.
+		out = append(out, ErrShutdown, ErrCanceled)
 	}
 	if e.Err != nil {
 		out = append(out, e.Err)

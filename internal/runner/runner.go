@@ -240,8 +240,8 @@ func Run(ctx context.Context, jobs []sim.Config, opts Options) (Results, Stats) 
 						continue
 					}
 				}
-				if err := ctx.Err(); err != nil {
-					finish(i, nil, &JobError{Index: i, Kind: KindCanceled, Err: err})
+				if ctx.Err() != nil {
+					finish(i, nil, &JobError{Index: i, Kind: cancelKind(ctx), Err: cancelCause(ctx)})
 					continue
 				}
 				jobStart := time.Now()
@@ -279,6 +279,29 @@ func Run(ctx context.Context, jobs []sim.Config, opts Options) (Results, Stats) 
 func retryable(err error) bool {
 	var je *JobError
 	return errors.As(err, &je) && je.Kind.Retryable()
+}
+
+// cancelKind classifies a context cancellation: KindShutdown when the
+// cancellation cause wraps ErrShutdown (a drain, see Batch.Cancel),
+// KindCanceled for every other cancellation or deadline.
+func cancelKind(ctx context.Context) Kind {
+	if errors.Is(context.Cause(ctx), ErrShutdown) {
+		return KindShutdown
+	}
+	return KindCanceled
+}
+
+// cancelCause is the error recorded as a cancelled job's underlying cause:
+// the context's cancellation cause when one was supplied (so a drain's
+// ErrShutdown or a caller's custom reason survives into the JobError), the
+// plain context error otherwise. For a cause-less cancellation
+// context.Cause returns context.Canceled itself, preserving the historical
+// errors.Is(err, context.Canceled) behavior.
+func cancelCause(ctx context.Context) error {
+	if cause := context.Cause(ctx); cause != nil {
+		return cause
+	}
+	return ctx.Err()
 }
 
 // backoff sleeps for d (0 returns immediately) unless the context ends
@@ -337,7 +360,7 @@ func runJob(ctx context.Context, index int, cfg sim.Config, opts Options) (res *
 			return false
 		}
 		if ctx.Err() != nil {
-			kind = KindCanceled
+			kind = cancelKind(ctx)
 			return true
 		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
@@ -358,8 +381,8 @@ func runJob(ctx context.Context, index int, cfg sim.Config, opts Options) (res *
 			err = fmt.Errorf("exceeded wall-clock budget %v", opts.Timeout)
 		case KindSlotLimit:
 			err = fmt.Errorf("exceeded slot budget %d", opts.SlotLimit)
-		case KindCanceled:
-			err = ctx.Err()
+		case KindCanceled, KindShutdown:
+			err = cancelCause(ctx)
 		}
 		return nil, &JobError{Index: index, Kind: kind, Err: err}
 	}
