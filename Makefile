@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race bench bench-engine bench-scale bench-guard docscheck figures figures-quick faults floodd-smoke fuzz-faults fuzz-shard examples clean
+.PHONY: all build vet test test-short test-race bench bench-engine bench-scale bench-guard docscheck figures figures-quick faults floodd-smoke floodd-chaos fuzz-faults fuzz-shard examples clean
 
 all: build vet test
 
@@ -63,9 +63,17 @@ faults:
 
 # Black-box smoke of the job daemon (docs/SERVICE.md): boot floodd on an
 # ephemeral port, submit a tiny sweep with curl, assert the result CSV
-# and the telemetry mount, drain on SIGTERM. Mirrored in CI.
+# and the telemetry mount, drain on SIGTERM, then kill -9 a daemon
+# mid-job and assert the restart resumes it. Mirrored in CI.
 floodd-smoke:
 	sh scripts/floodd-smoke.sh
+
+# Chaos-kill certification for distributed sweeps: SIGKILL three workers
+# and the daemon mid-sweep, run a deliberate zombie worker, and require
+# the final CSV to be byte-identical to an uninterrupted reference run.
+# CI runs the same script with CHAOS_SHORT=1 on a smaller grid.
+floodd-chaos:
+	sh scripts/floodd-chaos.sh
 
 # Randomized fault schedules vs engine invariants and compact-path
 # equivalence; CI runs a 10s smoke of this.

@@ -10,6 +10,8 @@
 //
 //	floodd [-addr 127.0.0.1:8080] [-dir floodd-data] [-queue 16]
 //	       [-job-timeout 0] [-drain-timeout 30s]
+//	       [-distributed] [-chunk 4] [-lease-ttl 15s] [-lease-attempts 5]
+//	       [-local-grace 0]
 //
 // Endpoints:
 //
@@ -19,9 +21,20 @@
 //	GET    /v1/jobs/{id}/events  live progress stream (SSE)
 //	GET    /v1/jobs/{id}/result  result CSV (?format=json for rows)
 //	DELETE /v1/jobs/{id}         cancel a queued or running job
+//	GET    /v1/work              job currently accepting leases (-distributed)
+//	POST   /v1/jobs/{id}/lease   claim a chunk; heartbeat and complete
+//	                             sub-resources renew it and report results
 //	GET    /healthz              liveness (503 while draining)
 //	GET    /debug/vars           telemetry: floodd.* + per-job job.<id>.*
 //	GET    /debug/pprof/         live profiling
+//
+// With -distributed, jobs execute through the worker-pull lease protocol
+// (docs/SERVICE.md, "Distributed sweeps"): remote floodworker processes
+// claim chunks of the sweep over HTTP, heartbeat while simulating, and
+// report results the daemon journals. The daemon's own local executor
+// completes any job no worker picks up, so -distributed with zero
+// workers behaves like a plain daemon — and the result CSV is
+// byte-identical either way.
 //
 // On SIGINT/SIGTERM the daemon drains: it stops accepting jobs, cancels
 // the active batch with the runner's shutdown cause (the job stays
@@ -52,6 +65,12 @@ func main() {
 		queue        = flag.Int("queue", 16, "bounded job queue: max queued+running jobs before submissions get 429")
 		jobTimeout   = flag.Duration("job-timeout", 0, "per-job wall-clock budget covering the whole sweep (0 = none)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain may take before forced exit")
+
+		distributed   = flag.Bool("distributed", false, "execute jobs via the worker-pull lease protocol (floodworker clients)")
+		chunk         = flag.Int("chunk", 4, "distributed: cells per lease")
+		leaseTTL      = flag.Duration("lease-ttl", 15*time.Second, "distributed: lease lifetime between heartbeats")
+		leaseAttempts = flag.Int("lease-attempts", 5, "distributed: per-chunk attempts before poisoning the job")
+		localGrace    = flag.Duration("local-grace", 0, "distributed: head start workers get before the daemon simulates chunks itself")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, `usage: floodd [flags]
@@ -65,7 +84,14 @@ flags:
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if err := run(*addr, *dir, *queue, *jobTimeout, *drainTimeout); err != nil {
+	lo := service.LeaseOptions{
+		Enabled:     *distributed,
+		ChunkSize:   *chunk,
+		TTL:         *leaseTTL,
+		MaxAttempts: *leaseAttempts,
+		LocalGrace:  *localGrace,
+	}
+	if err := run(*addr, *dir, *queue, *jobTimeout, *drainTimeout, lo); err != nil {
 		fmt.Fprintln(os.Stderr, "floodd:", err)
 		os.Exit(1)
 	}
@@ -73,11 +99,12 @@ flags:
 
 // run starts the service and HTTP server, then blocks until a signal
 // drains them.
-func run(addr, dir string, queue int, jobTimeout, drainTimeout time.Duration) error {
+func run(addr, dir string, queue int, jobTimeout, drainTimeout time.Duration, lo service.LeaseOptions) error {
 	svc, err := service.New(service.Options{
 		Dir:        dir,
 		QueueLimit: queue,
 		JobTimeout: jobTimeout,
+		Lease:      lo,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "floodd: "+format+"\n", args...)
 		},

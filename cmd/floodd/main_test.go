@@ -15,6 +15,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"ldcflood/internal/service"
 )
 
 // TestRunServesAndDrains boots the daemon on an ephemeral port, submits
@@ -30,7 +32,7 @@ func TestRunServesAndDrains(t *testing.T) {
 
 	done := make(chan error, 1)
 	go func() {
-		done <- run(addr, t.TempDir(), 4, 0, 30*time.Second)
+		done <- run(addr, t.TempDir(), 4, 0, 30*time.Second, service.LeaseOptions{})
 	}()
 
 	base := "http://" + addr
@@ -121,6 +123,8 @@ func TestDocEndpointTableMatchesService(t *testing.T) {
 		"GET /v1/jobs/{id}/events",
 		"GET /v1/jobs/{id}/result",
 		"DELETE /v1/jobs/{id}",
+		"GET /v1/work",
+		"POST /v1/jobs/{id}/lease",
 		"GET /healthz",
 		"GET /debug/vars",
 	} {
@@ -144,7 +148,10 @@ func TestFlagsDocumented(t *testing.T) {
 	}
 	// Keep this list in sync with main()'s flag declarations; the source
 	// check below catches a rename, the doc check a stale SERVICE.md.
-	for _, name := range []string{"-addr", "-dir", "-queue", "-job-timeout", "-drain-timeout"} {
+	for _, name := range []string{
+		"-addr", "-dir", "-queue", "-job-timeout", "-drain-timeout",
+		"-distributed", "-chunk", "-lease-ttl", "-lease-attempts", "-local-grace",
+	} {
 		if !bytes.Contains(doc, []byte("`"+name+"`")) {
 			t.Errorf("docs/SERVICE.md missing flag %s", name)
 		}
@@ -153,7 +160,10 @@ func TestFlagsDocumented(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, name := range []string{"addr", "dir", "queue", "job-timeout", "drain-timeout"} {
+	for _, name := range []string{
+		"addr", "dir", "queue", "job-timeout", "drain-timeout",
+		"distributed", "chunk", "lease-ttl", "lease-attempts", "local-grace",
+	} {
 		if !bytes.Contains(src, []byte(fmt.Sprintf("%q", name))) {
 			t.Errorf("main.go missing flag declaration %q", name)
 		}

@@ -179,6 +179,24 @@ func (sc sweepConfig) spec() (service.Spec, error) {
 	return spec, nil
 }
 
+// diagnoseResume upgrades a -resume journal-open failure into an
+// actionable message when the journal is recognizably from an older sweep
+// release. Pre-canonicalization releases keyed the journal with the duty
+// axis exactly as typed ("0.10,0.20"), so resuming such a journal with a
+// current binary always fails the key check even though its records are
+// valid results for the same grid. Any other failure is returned as-is.
+func diagnoseResume(err error, path, want string) error {
+	stored, kerr := runner.ReadJournalKey(path)
+	if kerr != nil || !service.LegacyJournalKey(stored, want) {
+		return err
+	}
+	return fmt.Errorf("%v\n"+
+		"the journal was written by an older sweep release that keyed the grid with duties exactly as typed (%q); "+
+		"current releases canonicalize duty formatting, so the key can never match even though the journal's records "+
+		"are valid for this grid. Either re-run without -resume to recompute into a fresh journal, or migrate this one "+
+		"by replacing the \"key\" field on its first line with %q and resuming again", err, stored, want)
+}
+
 func run(w io.Writer, sc sweepConfig) error {
 	spec, err := sc.spec()
 	if err != nil {
@@ -219,6 +237,9 @@ func run(w io.Writer, sc sweepConfig) error {
 	if sc.journalPath != "" {
 		j, err := runner.OpenJournal(sc.journalPath, grid.JournalKey(), sc.resume)
 		if err != nil {
+			if sc.resume {
+				return diagnoseResume(err, sc.journalPath, grid.JournalKey())
+			}
 			return err
 		}
 		defer j.Close()

@@ -275,6 +275,55 @@ func TestRunJournalResumeByteIdentical(t *testing.T) {
 	}
 }
 
+func TestRunResumeLegacyJournal(t *testing.T) {
+	// A journal keyed by a pre-canonicalization release ("0.10" as typed,
+	// not "0.1") must fail resume with a migration message, not a bare key
+	// mismatch.
+	sc := testConfig() // dutiesCSV "0.10" canonicalizes to "0.1"
+	spec, err := sc.spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := service.Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := grid.JournalKey()
+	legacy := strings.Replace(want, "|duties=0.1|", "|duties=0.10|", 1)
+	if legacy == want {
+		t.Fatalf("key %q lacks the expected canonical duty segment", want)
+	}
+
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	j, err := runner.OpenJournal(path, legacy, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	var buf bytes.Buffer
+	sc.journalPath = path
+	sc.resume = true
+	err = run(&buf, sc)
+	if err == nil {
+		t.Fatal("resume against a legacy-keyed journal accepted")
+	}
+	if !strings.Contains(err.Error(), "older sweep release") {
+		t.Fatalf("legacy journal error lacks migration guidance: %v", err)
+	}
+
+	// A genuinely different grid must keep the plain mismatch error.
+	scOther := sc
+	scOther.seeds = 2
+	err = run(&buf, scOther)
+	if err == nil {
+		t.Fatal("resume with a different grid accepted")
+	}
+	if strings.Contains(err.Error(), "older sweep release") {
+		t.Fatalf("grid mismatch misdiagnosed as legacy journal: %v", err)
+	}
+}
+
 func TestRunResumeNeedsJournal(t *testing.T) {
 	var buf bytes.Buffer
 	sc := testConfig()

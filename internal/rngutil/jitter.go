@@ -1,0 +1,22 @@
+package rngutil
+
+import "time"
+
+// Jitter deterministically scales d by a factor in [0.5, 1.0) derived
+// from key via SplitMix64, returning 0 for d <= 0. It de-synchronizes
+// herds — simultaneous retry or lease-requeue backoffs keyed by job or
+// chunk index spread out instead of stampeding together — without
+// introducing any machine- or schedule-dependent randomness: the same
+// (d, key) always yields the same delay, so batch output and replay
+// stay deterministic. Used by runner.Options.RetryBackoff and the lease
+// manager's requeue backoff.
+func Jitter(d time.Duration, key uint64) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	st := key
+	z := splitMix64(&st)
+	// Map the top 53 bits to [0, 1), then squeeze into [0.5, 1.0).
+	frac := float64(z>>11) / (1 << 53)
+	return time.Duration(float64(d) * (0.5 + frac/2))
+}

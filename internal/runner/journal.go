@@ -123,6 +123,17 @@ func (j *Journal) load(path, key string) (int64, error) {
 			break
 		}
 	}
+	if keep == 0 {
+		// No complete line at all: the previous run was killed mid-way
+		// through the very first write, leaving a torn header. As long as
+		// the fragment is recognizably ours, treat the file as empty — the
+		// caller truncates and rewrites a fresh header — instead of failing
+		// resume unrecoverably. Anything else is not a journal file.
+		if tornHeader(data) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("runner: journal %s: not a journal file", path)
+	}
 	lines := splitLines(data)
 	var hdr journalHeader
 	if err := json.Unmarshal(lines[0], &hdr); err != nil || hdr.Journal != journalMagic {
@@ -144,6 +155,40 @@ func (j *Journal) load(path, key string) (int64, error) {
 		j.done[rec.Index] = rec.Res
 	}
 	return keep, nil
+}
+
+// tornHeader reports whether data is a torn prefix of a journal header
+// line — i.e. the bytes so far agree with how a header serializes
+// ({"journal":"ldcflood-runner",...). The mutual-prefix check keeps the
+// guard against clobbering arbitrary non-journal files intact even when
+// the crash happened within the first few bytes.
+func tornHeader(data []byte) bool {
+	sig := []byte(`{"journal":"` + journalMagic + `"`)
+	n := len(sig)
+	if len(data) < n {
+		n = len(data)
+	}
+	return string(data[:n]) == string(sig[:n])
+}
+
+// ReadJournalKey reads the batch key from the journal header at path
+// without loading its records — callers use it to explain a key mismatch
+// (e.g. cmd/sweep's legacy-journal detection) or to inspect a journal's
+// provenance.
+func ReadJournalKey(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", fmt.Errorf("runner: journal: %w", err)
+	}
+	lines := splitLines(data)
+	if len(lines) == 0 {
+		return "", fmt.Errorf("runner: journal %s: empty file", path)
+	}
+	var hdr journalHeader
+	if err := json.Unmarshal(lines[0], &hdr); err != nil || hdr.Journal != journalMagic {
+		return "", fmt.Errorf("runner: journal %s: not a journal file", path)
+	}
+	return hdr.Key, nil
 }
 
 // splitLines splits data on '\n', dropping a trailing empty fragment.
@@ -197,16 +242,31 @@ func (j *Journal) Completed() int {
 // rather than failing the batch: the simulation results are still good,
 // only resumability is degraded.
 func (j *Journal) record(i int, res *sim.Result) {
+	j.Record(i, res)
+}
+
+// Record appends one completed job's result, idempotently by index: a
+// job already journaled is left untouched and Record reports false. This
+// is the write path for callers that land results out of band — the
+// distributed lease protocol journals worker completions through it —
+// and shares the crash-safety contract with the runner's own appends
+// (flushed line-at-a-time; write failures latch into Err instead of
+// failing the caller).
+func (j *Journal) Record(i int, res *sim.Result) bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.err != nil {
-		return
+		return false
+	}
+	if _, ok := j.done[i]; ok {
+		return false
 	}
 	if err := j.writeLine(journalRecord{Index: i, Res: res}); err != nil {
 		j.err = err
-		return
+		return false
 	}
 	j.done[i] = res
+	return true
 }
 
 // Err returns the first journal write failure, or nil. Check it after the

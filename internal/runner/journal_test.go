@@ -277,6 +277,114 @@ func TestJournalResumeTornTrailingLine(t *testing.T) {
 	}
 }
 
+// TestJournalResumeTornHeader is the first-write crash: the run was
+// killed mid-way through writing the header line itself, leaving a
+// recognizable fragment and not a single complete line. Resume must
+// treat the file as empty and rewrite a fresh header — not fail
+// unrecoverably — while a fragment that is NOT ours still fails loudly.
+func TestJournalResumeTornHeader(t *testing.T) {
+	const key = "torn-header"
+	full := []byte(`{"journal":"ldcflood-runner","v":1,"key":"torn-header"}`)
+	for cut := 1; cut <= len(full); cut += 7 {
+		path := filepath.Join(t.TempDir(), "sweep.journal")
+		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j, err := runner.OpenJournal(path, key, true)
+		if err != nil {
+			t.Fatalf("resume with header torn at byte %d: %v", cut, err)
+		}
+		if j.Completed() != 0 {
+			t.Fatalf("torn-header journal holds %d jobs", j.Completed())
+		}
+		rs, _ := runner.Run(context.Background(), []sim.Config{quickJob(3)}, runner.Options{Journal: j})
+		if rs[0].Err != nil {
+			t.Fatal(rs[0].Err)
+		}
+		j.Close()
+		// The rewritten file must resume cleanly.
+		j2, err := runner.OpenJournal(path, key, true)
+		if err != nil {
+			t.Fatalf("second resume after torn-header rewrite: %v", err)
+		}
+		if j2.Completed() != 1 {
+			t.Fatalf("rewritten journal holds %d jobs, want 1", j2.Completed())
+		}
+		j2.Close()
+	}
+
+	// A non-journal fragment keeps the clobber guard: resume must refuse.
+	path := filepath.Join(t.TempDir(), "notes.txt")
+	if err := os.WriteFile(path, []byte(`{"journal":"something-else`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runner.OpenJournal(path, key, true); err == nil {
+		t.Fatal("resuming a non-journal fragment succeeded; would clobber the file")
+	}
+}
+
+// TestReadJournalKey pins the header-only reader used by cmd/sweep's
+// legacy-journal diagnostics.
+func TestReadJournalKey(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	j, err := runner.OpenJournal(path, "the-key", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	key, err := runner.ReadJournalKey(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != "the-key" {
+		t.Fatalf("ReadJournalKey = %q, want %q", key, "the-key")
+	}
+	if _, err := runner.ReadJournalKey(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("ReadJournalKey on a missing file succeeded")
+	}
+	bogus := filepath.Join(t.TempDir(), "bogus")
+	if err := os.WriteFile(bogus, []byte("not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runner.ReadJournalKey(bogus); err == nil {
+		t.Fatal("ReadJournalKey on a non-journal file succeeded")
+	}
+}
+
+// TestJournalRecordIdempotent pins the out-of-band write path the
+// distributed lease protocol journals worker completions through: the
+// first Record for an index lands, a duplicate is refused, and the
+// journaled set round-trips a resume.
+func TestJournalRecordIdempotent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	j, err := runner.OpenJournal(path, "record", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, _ := runner.Run(context.Background(), []sim.Config{quickJob(21)}, runner.Options{})
+	if rs[0].Err != nil {
+		t.Fatal(rs[0].Err)
+	}
+	if !j.Record(0, rs[0].Res) {
+		t.Fatal("first Record refused")
+	}
+	if j.Record(0, rs[0].Res) {
+		t.Fatal("duplicate Record accepted; the cell would be journaled twice")
+	}
+	if got, ok := j.Done(0); !ok || got != rs[0].Res {
+		t.Fatal("Record did not land in the done set")
+	}
+	j.Close()
+	j2, err := runner.OpenJournal(path, "record", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Completed() != 1 {
+		t.Fatalf("resumed journal holds %d records, want 1", j2.Completed())
+	}
+}
+
 func TestJournalResumeMissingFileStartsFresh(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "new.journal")
 	j, err := runner.OpenJournal(path, "fresh", true)

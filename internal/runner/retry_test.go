@@ -1,0 +1,64 @@
+package runner
+
+// White-box tests for the retry backoff schedule: retryDelay must be a
+// pure function of (base, index, attempt) — the certification that the
+// jittered delays cannot depend on worker count, machine, or wall clock,
+// preserving the runner's determinism story (satellite: deterministic
+// retry jitter).
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRetryDelayDeterministic(t *testing.T) {
+	base := 100 * time.Millisecond
+	for index := 0; index < 50; index++ {
+		for attempt := 0; attempt < 6; attempt++ {
+			a := retryDelay(base, index, attempt)
+			b := retryDelay(base, index, attempt)
+			if a != b {
+				t.Fatalf("retryDelay(%v, %d, %d) unstable: %v vs %v", base, index, attempt, a, b)
+			}
+		}
+	}
+}
+
+func TestRetryDelayJitterRangeAndGrowth(t *testing.T) {
+	base := 100 * time.Millisecond
+	for index := 0; index < 20; index++ {
+		for attempt := 0; attempt < 5; attempt++ {
+			full := base << uint(attempt)
+			d := retryDelay(base, index, attempt)
+			if d < full/2 || d >= full {
+				t.Fatalf("retryDelay(%v, %d, %d) = %v outside [%v, %v)", base, index, attempt, d, full/2, full)
+			}
+		}
+	}
+}
+
+func TestRetryDelayDecorrelatesJobs(t *testing.T) {
+	// Simultaneously retrying jobs must not share a delay: that is the
+	// thundering-herd the jitter exists to break. With a [0.5, 1.0) spread
+	// over 64 jobs at least some pairs must differ (all-equal means the
+	// index is not mixed into the key).
+	base := time.Second
+	seen := make(map[time.Duration]bool)
+	for index := 0; index < 64; index++ {
+		seen[retryDelay(base, index, 0)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("64 jobs share %d distinct first-retry delays; jitter is not per-job", len(seen))
+	}
+}
+
+func TestRetryDelayShiftCapAndZeroBase(t *testing.T) {
+	if d := retryDelay(0, 3, 2); d != 0 {
+		t.Fatalf("zero base gives %v, want 0", d)
+	}
+	// Huge attempt counts must not overflow the shift into a negative or
+	// zero duration.
+	if d := retryDelay(time.Millisecond, 0, 1<<20); d <= 0 {
+		t.Fatalf("capped shift gives %v, want > 0", d)
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ldcflood/internal/rngutil"
 	"ldcflood/internal/sim"
 	"ldcflood/internal/telemetry"
 )
@@ -71,8 +72,13 @@ type Options struct {
 	// failing jobs more chances.
 	Retries int
 	// RetryBackoff is the wait before the first retry; each further retry
-	// doubles it (exponential backoff). The wait is context-aware: batch
-	// cancellation ends it immediately. 0 retries back to back.
+	// doubles it (exponential backoff), scaled by a deterministic jitter
+	// factor in [0.5, 1.0) seeded per job index — simultaneous retries
+	// across a batch (or across distributed workers hammering one daemon)
+	// de-synchronize instead of thundering-herding, and the delays are a
+	// pure function of (backoff, index, attempt), identical for every
+	// worker count. The wait is context-aware: batch cancellation ends it
+	// immediately. 0 retries back to back.
 	RetryBackoff time.Duration
 	// Journal, when non-nil, checkpoints the batch: each successful job is
 	// appended to the journal as it completes, and jobs already present
@@ -247,7 +253,7 @@ func Run(ctx context.Context, jobs []sim.Config, opts Options) (Results, Stats) 
 				jobStart := time.Now()
 				res, err := runJob(ctx, i, jobs[i], opts)
 				for attempt := 0; err != nil && attempt < opts.Retries && retryable(err); attempt++ {
-					if !backoff(ctx, opts.RetryBackoff<<uint(attempt)) {
+					if !backoff(ctx, retryDelay(opts.RetryBackoff, i, attempt)) {
 						break
 					}
 					if tel != nil {
@@ -302,6 +308,23 @@ func cancelCause(ctx context.Context) error {
 		return cause
 	}
 	return ctx.Err()
+}
+
+// retryDelay computes the wait before retry attempt (0-based) of job
+// index: RetryBackoff doubled per prior attempt (capped at 16 doublings
+// so the shift can never overflow), scaled by rngutil.Jitter keyed on
+// (index, attempt). A pure function of its arguments — the schedule of
+// delays is identical for every Options.Workers value and across
+// machines, preserving the runner's determinism story.
+func retryDelay(base time.Duration, index, attempt int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	shift := attempt
+	if shift > 16 {
+		shift = 16
+	}
+	return rngutil.Jitter(base<<uint(shift), uint64(index)<<20^uint64(attempt))
 }
 
 // backoff sleeps for d (0 returns immediately) unless the context ends

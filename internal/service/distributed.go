@@ -1,0 +1,460 @@
+package service
+
+// The distributed execution path: when Options.Lease is enabled, a job
+// runs as a set of leasable chunks arbitrated by internal/lease instead
+// of one local runner batch. Remote floodworker processes pull chunks
+// over the HTTP endpoints in http.go; the daemon's own local executor
+// pulls through exactly the same code path (after LocalGrace), so a
+// daemon with zero connected workers still completes every job.
+//
+// Results flow through the same journal as the local path — every
+// accepted cell is appended via Journal.Record, idempotently by index —
+// which is what makes the final CSV byte-identical to a single-daemon
+// run no matter how many workers died, how many chunks were reassigned,
+// or how many zombie completions were dropped along the way.
+// docs/SERVICE.md ("Distributed sweeps") is the protocol reference.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"ldcflood/internal/lease"
+	"ldcflood/internal/runner"
+	"ldcflood/internal/sim"
+)
+
+// LeaseRequest is the JSON body of POST /v1/jobs/{id}/lease.
+type LeaseRequest struct {
+	// Worker is the claimant's self-reported name (diagnostics only).
+	Worker string `json:"worker"`
+}
+
+// LeaseGrant is the JSON reply to a successful lease claim.
+type LeaseGrant struct {
+	// Lease is the opaque lease id presented back on heartbeat/complete.
+	Lease string `json:"lease"`
+	// Chunk is the claimed chunk's id.
+	Chunk int `json:"chunk"`
+	// Cells are the global batch indices to execute (indices into the
+	// grid the worker compiles from the job's Spec).
+	Cells []int `json:"cells"`
+	// Deadline is when the lease expires unless renewed.
+	Deadline time.Time `json:"deadline"`
+	// TTL is the lease lifetime; workers heartbeat at a fraction of it.
+	TTL Duration `json:"ttl"`
+	// Key is the job's journal key. Workers verify the grid they compiled
+	// locally produces the same key before executing — a mismatch means
+	// daemon/worker version skew and executing would corrupt the sweep.
+	Key string `json:"key"`
+}
+
+// CellOutcome is one cell's result inside a CompleteRequest: either a
+// simulation result (success) or an error description (failure).
+type CellOutcome struct {
+	// Index is the cell's global batch index.
+	Index int `json:"index"`
+	// Res is the simulation output; nil when Error is set.
+	Res *sim.Result `json:"res,omitempty"`
+	// Error is the failure text for a cell that did not complete.
+	Error string `json:"error,omitempty"`
+	// Terminal marks a deterministic failure (engine validation, slot
+	// budget): retrying cannot help, so the chunk poisons immediately.
+	Terminal bool `json:"terminal,omitempty"`
+}
+
+// CompleteRequest is the JSON body of POST
+// /v1/jobs/{id}/lease/{lease}/complete.
+type CompleteRequest struct {
+	// Worker is the reporting worker's name (diagnostics only).
+	Worker string `json:"worker"`
+	// Key must match the job's journal key (the one the grant carried);
+	// a mismatch rejects the whole report.
+	Key string `json:"key"`
+	// Results holds one outcome per cell the worker executed.
+	Results []CellOutcome `json:"results"`
+}
+
+// CompleteReply is the JSON verdict on a completion report.
+type CompleteReply struct {
+	// Accepted counts cells persisted to the journal from this report.
+	Accepted int `json:"accepted"`
+	// Dropped counts cells someone else had already completed (zombie
+	// duplicates, dropped to keep per-cell idempotency).
+	Dropped int `json:"dropped"`
+	// Zombie reports that the completing lease had expired or was unknown:
+	// the worker outlived its ownership.
+	Zombie bool `json:"zombie"`
+}
+
+// HeartbeatReply is the JSON reply to a lease renewal.
+type HeartbeatReply struct {
+	// Deadline is the lease's renewed expiry.
+	Deadline time.Time `json:"deadline"`
+}
+
+// WorkReply is the JSON reply of GET /v1/work: the job currently
+// accepting leases.
+type WorkReply struct {
+	// ID is the running distributed job's id.
+	ID string `json:"id"`
+}
+
+// distRun is the live state of one distributed job execution: the lease
+// manager plus everything a completion report needs (the grid for
+// validation, the journal for persistence, the job for progress fan-out).
+type distRun struct {
+	mgr   *lease.Manager
+	grid  *Grid
+	jrn   *runner.Journal
+	key   string
+	ttl   time.Duration
+	job   *Job
+	start time.Time
+	total int
+
+	mu    sync.Mutex
+	slots int64 // simulated slots accumulated (journaled + accepted)
+}
+
+// runDistributed executes one job through the lease protocol and settles
+// its fate; it is runJob's distributed half and honors the same state
+// machine (drain → requeued, user cancel → canceled, wall-clock → failed).
+func (s *Service) runDistributed(j *Job, grid *Grid, jrn *runner.Journal) {
+	// Cells already in the journal (a resumed job) are done by definition;
+	// only the remainder is leased out.
+	var remaining []int
+	var slots int64
+	for i := range grid.Jobs {
+		if res, ok := jrn.Done(i); ok {
+			slots += res.TotalSlots
+		} else {
+			remaining = append(remaining, i)
+		}
+	}
+	lo := s.opts.Lease
+	ttl := lo.TTL
+	if ttl <= 0 {
+		ttl = 15 * time.Second
+	}
+	h := fnv.New64a()
+	h.Write([]byte(grid.JournalKey()))
+	mgr := lease.NewManager(lease.Config{
+		Cells:       remaining,
+		ChunkSize:   lo.ChunkSize,
+		TTL:         ttl,
+		MaxAttempts: lo.MaxAttempts,
+		Seed:        h.Sum64(),
+		Telemetry:   j.Registry,
+	})
+	st := &distRun{
+		mgr: mgr, grid: grid, jrn: jrn, key: grid.JournalKey(),
+		ttl: ttl, job: j, start: time.Now(), total: len(grid.Jobs),
+		slots: slots,
+	}
+
+	ctx, cancel := context.WithCancelCause(context.Background())
+	defer cancel(nil)
+	if s.opts.JobTimeout > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeoutCause(ctx, s.opts.JobTimeout, errJobWall)
+		defer tcancel()
+	}
+
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = time.Now().UTC()
+	j.resumed = jrn.Completed()
+	j.stop = func(cause error) { cancel(cause) }
+	j.dist = st
+	userCanceled := j.canceled
+	j.mu.Unlock()
+	s.logf("job %s: running distributed (%d cells, %d journaled, %d chunks)",
+		j.ID, len(grid.Cells), jrn.Completed(), mgr.Snapshot().Chunks)
+
+	// Close the drain race: Drain may have set draining between the
+	// scheduler popping this job and the stopper landing in j.stop.
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		cancel(runner.ErrShutdown)
+	}
+	if userCanceled {
+		cancel(errUserCancel)
+	}
+
+	st.observe(0)
+
+	// The sweeper: expired leases must requeue even when no protocol call
+	// arrives to trigger a lazy sweep (every worker dead at once).
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(ttl / 4)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-mgr.Finished():
+				return
+			case <-tick.C:
+				if n := mgr.Expire(time.Now()); n > 0 {
+					s.logf("job %s: %d lease(s) expired, chunks requeued", j.ID, n)
+				}
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		st.localExec(ctx, lo.LocalGrace)
+	}()
+
+	select {
+	case <-mgr.Finished():
+	case <-ctx.Done():
+		mgr.Stop(context.Cause(ctx))
+	}
+	cancel(nil)
+	wg.Wait()
+
+	if err := jrn.Err(); err != nil {
+		s.logf("job %s: journal degraded: %v", j.ID, err)
+	}
+
+	ferr := mgr.Err()
+	switch {
+	case ferr == nil:
+		// Every chunk completed; the journal is the single source of truth
+		// for the per-cell results (exactly as a resumed local batch).
+		rs := make(runner.Results, len(grid.Jobs))
+		for i := range rs {
+			res, ok := jrn.Done(i)
+			if !ok {
+				s.settle(j, StateFailed, fmt.Sprintf("cell %d missing from journal after completion", i))
+				return
+			}
+			rs[i] = runner.Result{Index: i, Res: res}
+		}
+		if err := s.writeResult(j, grid, rs); err != nil {
+			s.settle(j, StateFailed, err.Error())
+			return
+		}
+		s.settle(j, StateDone, "")
+	case errors.Is(ferr, runner.ErrShutdown):
+		// Drained mid-run: back to queued, no terminal status on disk —
+		// the next daemon re-queues and the journal resumes the sweep.
+		j.mu.Lock()
+		j.state = StateQueued
+		j.stop = nil
+		j.dist = nil
+		j.mu.Unlock()
+		s.logf("job %s: interrupted by drain, will resume on restart", j.ID)
+	case errors.Is(ferr, errUserCancel):
+		s.settle(j, StateCanceled, errUserCancel.Error())
+	case errors.Is(ferr, errJobWall):
+		s.settle(j, StateFailed, fmt.Sprintf("job exceeded wall-clock budget %v", s.opts.JobTimeout))
+	default:
+		// A poison trip or another terminal lease failure.
+		s.settle(j, StateFailed, ferr.Error())
+	}
+}
+
+// localIdlePoll is how often the local executor re-asks for work while
+// every chunk is leased out or backing off.
+const localIdlePoll = 50 * time.Millisecond
+
+// localExec is the daemon's own worker: it pulls chunks through the same
+// lease protocol remote workers use, so a job completes even when no
+// worker ever connects — and the daemon competes fairly with workers
+// instead of hoarding chunks.
+func (d *distRun) localExec(ctx context.Context, grace time.Duration) {
+	if grace > 0 {
+		t := time.NewTimer(grace)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return
+		case <-d.mgr.Finished():
+			return
+		}
+	}
+	for ctx.Err() == nil {
+		l, err := d.mgr.Lease("local")
+		switch {
+		case errors.Is(err, lease.ErrFinished):
+			return
+		case errors.Is(err, lease.ErrNoWork):
+			t := time.NewTimer(localIdlePoll)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return
+			case <-d.mgr.Finished():
+				t.Stop()
+				return
+			}
+		case err != nil:
+			return
+		default:
+			d.runChunk(ctx, l)
+		}
+	}
+}
+
+// runChunk executes one leased chunk locally — heartbeating while it
+// runs — and reports the outcome through the same completion path the
+// HTTP handler uses.
+func (d *distRun) runChunk(ctx context.Context, l *lease.Lease) {
+	hbCtx, hbCancel := context.WithCancel(ctx)
+	defer hbCancel()
+	go func() {
+		tick := time.NewTicker(d.ttl / 3)
+		defer tick.Stop()
+		for {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-tick.C:
+				// A failed renewal (the lease expired anyway) is settled at
+				// completion time; the zombie path makes it harmless.
+				d.mgr.Heartbeat(l.ID) //nolint:errcheck // see above
+			}
+		}
+	}()
+
+	cfgs := make([]sim.Config, len(l.Cells))
+	for i, idx := range l.Cells {
+		cfgs[i] = d.grid.Jobs[idx]
+		cfgs[i].Telemetry = d.job.Registry
+	}
+	ropts := d.grid.Options()
+	ropts.Telemetry = d.job.Registry
+	rs, _ := runner.Run(ctx, cfgs, ropts)
+	if ctx.Err() != nil {
+		// Torn down mid-chunk (drain, cancel, wall clock): report nothing —
+		// the manager is being stopped, and an unreported lease just expires.
+		return
+	}
+	outs := make([]CellOutcome, len(rs))
+	for i := range rs {
+		outs[i] = CellOutcome{Index: l.Cells[i], Res: rs[i].Res}
+		if err := rs[i].Err; err != nil {
+			outs[i].Error = err.Error()
+			outs[i].Terminal = terminalFailure(err)
+		}
+	}
+	d.apply(l.ID, outs) //nolint:errcheck // lease-gone late reports are expected
+}
+
+// terminalFailure reports whether a runner job error is deterministic —
+// retrying the cell on another lease cannot change the outcome, so the
+// chunk should poison immediately instead of burning its attempt budget.
+func terminalFailure(err error) bool {
+	var je *runner.JobError
+	if !errors.As(err, &je) {
+		return false
+	}
+	switch je.Kind {
+	case runner.KindSim, runner.KindSlotLimit:
+		return true
+	}
+	return false
+}
+
+// apply validates and applies one completion report — the single path
+// shared by the HTTP complete handler and the local executor. Accepted
+// cells are journaled; duplicates (zombie double-completions) are
+// dropped; failure reports requeue or poison the chunk. The returned
+// error is ErrLeaseGone for an unhonored lease, or a validation error
+// (HTTP 400) for a malformed report.
+func (d *distRun) apply(id string, outs []CellOutcome) (CompleteReply, error) {
+	var cells []int
+	byIdx := make(map[int]*sim.Result, len(outs))
+	var errText string
+	var terminal bool
+	for _, o := range outs {
+		if o.Error != "" {
+			if errText == "" || (o.Terminal && !terminal) {
+				errText = fmt.Sprintf("cell %d: %s", o.Index, o.Error)
+			}
+			terminal = terminal || o.Terminal
+			continue
+		}
+		if o.Res == nil {
+			return CompleteReply{}, fmt.Errorf("cell %d: success outcome carries no result", o.Index)
+		}
+		if _, dup := byIdx[o.Index]; dup {
+			continue
+		}
+		cells = append(cells, o.Index)
+		byIdx[o.Index] = o.Res
+	}
+
+	var acc lease.Accept
+	var err error
+	if errText != "" && (terminal || len(cells) == 0) {
+		// A terminal failure outranks any partial success — the sweep
+		// cannot complete, so poison now rather than persist and retry.
+		acc, err = d.mgr.Complete(id, nil, errText, terminal)
+	} else {
+		// Pure success, or transient failure alongside successes: accept
+		// what landed; Complete requeues the chunk's remainder itself.
+		acc, err = d.mgr.Complete(id, cells, "", false)
+	}
+	reply := CompleteReply{Accepted: len(acc.Cells), Dropped: acc.Dropped, Zombie: acc.Zombie}
+	if err != nil {
+		if errors.Is(err, lease.ErrLeaseGone) {
+			return reply, err
+		}
+		var pe *lease.PoisonError
+		if errors.As(err, &pe) {
+			// The report itself was processed; the manager settled poisoned
+			// and runDistributed is failing the job.
+			return reply, nil
+		}
+		return reply, err
+	}
+
+	var slots int64
+	for _, idx := range acc.Cells {
+		res := byIdx[idx]
+		d.jrn.Record(idx, res)
+		slots += res.TotalSlots
+	}
+	if len(acc.Cells) > 0 {
+		d.observe(slots)
+	}
+	return reply, nil
+}
+
+// observe folds newly-accepted slots into the running totals and fans a
+// progress snapshot out to the job's subscribers (the same surface the
+// local batch path feeds through runner.Options.Progress).
+func (d *distRun) observe(newSlots int64) {
+	d.mu.Lock()
+	d.slots += newSlots
+	slots := d.slots
+	d.mu.Unlock()
+	done := d.jrn.Completed()
+	elapsed := time.Since(d.start)
+	var eta time.Duration
+	var rate float64
+	if sec := elapsed.Seconds(); sec > 0 {
+		rate = float64(slots) / sec
+	}
+	if done > 0 && done < d.total {
+		eta = time.Duration(float64(elapsed) / float64(done) * float64(d.total-done))
+	}
+	d.job.observe(runner.Progress{
+		Done: done, Total: d.total, Slots: slots,
+		Elapsed: elapsed, ETA: eta, SlotsPerSec: rate,
+	})
+}

@@ -10,6 +10,10 @@ package service
 //	GET    /v1/jobs/{id}/events  SSE progress stream, ends with "done"
 //	GET    /v1/jobs/{id}/result  the CSV artifact (?format=json for rows)
 //	DELETE /v1/jobs/{id}         cancel (queued or running)
+//	GET    /v1/work              the job currently accepting leases (204 if none)
+//	POST   /v1/jobs/{id}/lease   claim a chunk (distributed mode; 204 no work)
+//	POST   /v1/jobs/{id}/lease/{lease}/heartbeat  renew a lease (410 gone)
+//	POST   /v1/jobs/{id}/lease/{lease}/complete   report chunk results
 //	GET    /healthz              "ok", or 503 while draining
 //	GET    /debug/vars           expvar JSON: floodd.* plus every live
 //	                             job's registry prefixed "job.<id>."
@@ -28,6 +32,7 @@ import (
 	"os"
 	"runtime"
 
+	"ldcflood/internal/lease"
 	"ldcflood/internal/telemetry"
 )
 
@@ -46,6 +51,10 @@ func (s *Service) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/work", s.handleWork)
+	mux.HandleFunc("POST /v1/jobs/{id}/lease", s.handleLease)
+	mux.HandleFunc("POST /v1/jobs/{id}/lease/{lease}/heartbeat", s.handleHeartbeat)
+	mux.HandleFunc("POST /v1/jobs/{id}/lease/{lease}/complete", s.handleComplete)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /debug/vars", s.handleVars)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -236,6 +245,127 @@ func writeEvent(w io.Writer, ev Event) {
 		data = []byte(`{}`)
 	}
 	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+}
+
+// writeJSONBody emits v as indented JSON with the given status code.
+func writeJSONBody(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone is the only failure
+}
+
+// handleWork is GET /v1/work: the id of the job currently accepting
+// leases, or 204 when no distributed job is running. Workers poll this
+// to discover work without knowing job ids in advance.
+func (s *Service) handleWork(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	act := s.active
+	s.mu.Unlock()
+	if act == nil || act.distributed() == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSONBody(w, http.StatusOK, WorkReply{ID: act.ID})
+}
+
+// leaseRun resolves {id} to its live distributed run, or writes the
+// appropriate error: 404 for an unknown job, 409 for a job that is not
+// currently executing in distributed mode.
+func (s *Service) leaseRun(w http.ResponseWriter, r *http.Request) (*distRun, bool) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return nil, false
+	}
+	dist := j.distributed()
+	if dist == nil {
+		httpError(w, http.StatusConflict, "job %s is not accepting leases (state %s)", j.ID, j.State())
+		return nil, false
+	}
+	return dist, true
+}
+
+// handleLease is POST /v1/jobs/{id}/lease: claim a chunk. 200 with a
+// LeaseGrant, 204 when every chunk is leased out or backing off (retry
+// shortly), 410 once the job's work set has settled.
+func (s *Service) handleLease(w http.ResponseWriter, r *http.Request) {
+	dist, ok := s.leaseRun(w, r)
+	if !ok {
+		return
+	}
+	var req LeaseRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad lease request: %v", err)
+		return
+	}
+	l, err := dist.mgr.Lease(req.Worker)
+	switch {
+	case errors.Is(err, lease.ErrNoWork):
+		w.WriteHeader(http.StatusNoContent)
+	case errors.Is(err, lease.ErrFinished):
+		httpError(w, http.StatusGone, "job finished leasing")
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, "%v", err)
+	default:
+		writeJSONBody(w, http.StatusOK, LeaseGrant{
+			Lease: l.ID, Chunk: l.Chunk, Cells: l.Cells,
+			Deadline: l.Deadline, TTL: Duration(dist.ttl), Key: dist.key,
+		})
+	}
+}
+
+// handleHeartbeat is POST /v1/jobs/{id}/lease/{lease}/heartbeat: renew a
+// lease. 410 means the lease is gone (expired, superseded, or completed)
+// and the worker should abandon the chunk.
+func (s *Service) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	dist, ok := s.leaseRun(w, r)
+	if !ok {
+		return
+	}
+	deadline, err := dist.mgr.Heartbeat(r.PathValue("lease"))
+	if err != nil {
+		httpError(w, http.StatusGone, "%v", err)
+		return
+	}
+	writeJSONBody(w, http.StatusOK, HeartbeatReply{Deadline: deadline})
+}
+
+// maxCompleteBody bounds a completion report's size. Results carry full
+// sim.Result payloads (per-packet delay vectors included), so the limit
+// is far above the submit endpoint's.
+const maxCompleteBody = 64 << 20
+
+// handleComplete is POST /v1/jobs/{id}/lease/{lease}/complete: report a
+// chunk's outcomes. Accepted cells are journaled; duplicates from zombie
+// workers are dropped and reported in the CompleteReply. 409 rejects a
+// journal-key mismatch (daemon/worker version skew), 410 an unknown or
+// expired-and-superseded lease, 400 a malformed report.
+func (s *Service) handleComplete(w http.ResponseWriter, r *http.Request) {
+	dist, ok := s.leaseRun(w, r)
+	if !ok {
+		return
+	}
+	var req CompleteRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxCompleteBody)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad completion report: %v", err)
+		return
+	}
+	if req.Key != "" && req.Key != dist.key {
+		httpError(w, http.StatusConflict, "journal key mismatch: report %q, job %q", req.Key, dist.key)
+		return
+	}
+	reply, err := dist.apply(r.PathValue("lease"), req.Results)
+	switch {
+	case errors.Is(err, lease.ErrLeaseGone):
+		// Still a JSON reply (Zombie set) so the worker can distinguish
+		// "my work was redundant" from transport failures.
+		writeJSONBody(w, http.StatusGone, reply)
+	case err != nil:
+		httpError(w, http.StatusBadRequest, "%v", err)
+	default:
+		writeJSONBody(w, http.StatusOK, reply)
+	}
 }
 
 // handleHealth is GET /healthz: "ok" while accepting jobs, 503 once

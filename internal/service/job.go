@@ -129,9 +129,28 @@ type Job struct {
 	progress runner.Progress
 	hasProg  bool
 	resumed  int
-	batch    *runner.Batch // non-nil while running
-	canceled bool          // user asked for cancellation (DELETE)
+	stop     func(error) // cancels the running execution with a cause; non-nil while running
+	dist     *distRun    // the distributed lease run, when executing via workers
+	canceled bool        // user asked for cancellation (DELETE)
 	subs     map[chan Event]struct{}
+}
+
+// distributed returns the job's live lease run, or nil when the job is
+// not currently executing in distributed mode.
+func (j *Job) distributed() *distRun {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.dist
+}
+
+// stopWith invokes the job's stopper (if running) with the given cause.
+func (j *Job) stopWith(cause error) {
+	j.mu.Lock()
+	stop := j.stop
+	j.mu.Unlock()
+	if stop != nil {
+		stop(cause)
+	}
 }
 
 // newJob builds a queued job.
@@ -259,7 +278,8 @@ func (j *Job) finish(state State, errText string, at time.Time) {
 	j.state = state
 	j.errText = errText
 	j.finished = at
-	j.batch = nil
+	j.stop = nil
+	j.dist = nil
 	j.publishLocked(Event{Type: "done", Data: j.statusLocked()})
 	for sub := range j.subs {
 		delete(j.subs, sub)

@@ -79,6 +79,31 @@ type Options struct {
 	// Logf, when non-nil, receives one line per lifecycle event
 	// (submitted, started, finished, drained).
 	Logf func(format string, args ...any)
+	// Lease configures the distributed worker-pull protocol
+	// (docs/SERVICE.md, "Distributed sweeps"). The zero value disables
+	// it: jobs execute as local runner batches exactly as before.
+	Lease LeaseOptions
+}
+
+// LeaseOptions enables and tunes distributed execution: jobs run as
+// leasable chunks that remote floodworker processes pull over HTTP, with
+// the daemon's own local executor guaranteeing completion when no worker
+// ever connects. All knobs shape wall-clock behavior only — the result
+// CSV is byte-identical to a local run by the journal contract.
+type LeaseOptions struct {
+	// Enabled turns the lease path on for every job this service runs.
+	Enabled bool
+	// ChunkSize is how many cells one lease carries. <= 0 means 4.
+	ChunkSize int
+	// TTL is the lease lifetime between heartbeats. <= 0 means 15s.
+	TTL time.Duration
+	// MaxAttempts is the per-chunk poison threshold (silent expiries plus
+	// reported failures). <= 0 means 5.
+	MaxAttempts int
+	// LocalGrace is the head start remote workers get before the daemon's
+	// local executor begins pulling chunks itself. 0 means the local
+	// executor competes immediately.
+	LocalGrace time.Duration
 }
 
 // svcTel is the service's resolved instrument set.
@@ -323,23 +348,32 @@ func (s *Service) Cancel(id string) error {
 	case j.state == StateQueued:
 		j.canceled = true
 		j.mu.Unlock()
+		inQueue := false
 		for i, q := range s.queue {
 			if q == j {
 				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				inQueue = true
 				break
 			}
 		}
 		s.tel.depth.Set(int64(len(s.queue)))
 		s.mu.Unlock()
-		s.settle(j, StateCanceled, errUserCancel.Error())
+		if inQueue {
+			s.settle(j, StateCanceled, errUserCancel.Error())
+		}
+		// Not in the queue: the scheduler popped it and is about to mark
+		// it running. Settling here would race that handoff (a double
+		// settle, and a terminal status.json under a job a concurrent
+		// drain may yet requeue) — runJob observes j.canceled right after
+		// the stopper lands and cancels itself instead.
 		return nil
 	default: // running
 		j.canceled = true
-		batch := j.batch
+		stop := j.stop
 		j.mu.Unlock()
 		s.mu.Unlock()
-		if batch != nil {
-			batch.Cancel(errUserCancel)
+		if stop != nil {
+			stop(errUserCancel)
 		}
 		return nil
 	}
@@ -357,12 +391,7 @@ func (s *Service) Drain(ctx context.Context) error {
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	if act != nil {
-		act.mu.Lock()
-		batch := act.batch
-		act.mu.Unlock()
-		if batch != nil {
-			batch.Cancel(runner.ErrShutdown)
-		}
+		act.stopWith(runner.ErrShutdown)
 	}
 	select {
 	case <-s.schedDone:
@@ -398,7 +427,9 @@ func (s *Service) scheduler() {
 	}
 }
 
-// runJob executes one job as a runner batch and settles its fate.
+// runJob executes one job — as a local runner batch, or through the
+// distributed lease protocol when Options.Lease is enabled — and settles
+// its fate.
 func (s *Service) runJob(j *Job) {
 	grid, err := Compile(j.spec)
 	if err != nil {
@@ -411,6 +442,11 @@ func (s *Service) runJob(j *Job) {
 		return
 	}
 	defer jrn.Close()
+
+	if s.opts.Lease.Enabled {
+		s.runDistributed(j, grid, jrn)
+		return
+	}
 
 	ropts := grid.Options()
 	ropts.Journal = jrn
@@ -432,13 +468,13 @@ func (s *Service) runJob(j *Job) {
 	j.started = time.Now().UTC()
 	j.resumed = jrn.Completed()
 	batch := runner.Start(ctx, grid.Jobs, ropts)
-	j.batch = batch
+	j.stop = batch.Cancel
 	userCanceled := j.canceled
 	j.mu.Unlock()
 	s.logf("job %s: running (%d cells, %d journaled)", j.ID, len(grid.Cells), jrn.Completed())
 
 	// Close the drain race: Drain may have set draining between the
-	// scheduler popping this job and the batch handle landing in j.batch.
+	// scheduler popping this job and the stopper landing in j.stop.
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
@@ -467,7 +503,7 @@ func (s *Service) runJob(j *Job) {
 		// the next daemon re-queues and the journal resumes the batch.
 		j.mu.Lock()
 		j.state = StateQueued
-		j.batch = nil
+		j.stop = nil
 		j.mu.Unlock()
 		s.logf("job %s: interrupted by drain, will resume on restart", j.ID)
 	case errors.Is(ferr, errUserCancel):

@@ -506,6 +506,90 @@ func TestServiceConcurrentSubmits(t *testing.T) {
 	}
 }
 
+// TestServiceShutdownRaces drives the shutdown contention window under
+// the race detector: a SIGTERM drain, a client cancel of the running
+// job, and a fresh submission all landing on the same tick, repeatedly.
+// Whatever interleaving wins, the service must settle (Drain returns),
+// every job must end in a coherent state (terminal, or queued-for-resume
+// with no terminal status on disk), and nothing may deadlock.
+func TestServiceShutdownRaces(t *testing.T) {
+	iters := 10
+	if testing.Short() {
+		iters = 3
+	}
+	for i := 0; i < iters; i++ {
+		dir := t.TempDir()
+		s := newService(t, dir, service.Options{QueueLimit: 8})
+		j, err := s.Submit(slowSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Let the scheduler reach the running window on some iterations and
+		// race the submit-to-run handoff on others.
+		if i%2 == 0 {
+			deadline := time.Now().Add(10 * time.Second)
+			for j.State() == service.StateQueued && time.Now().Before(deadline) {
+				time.Sleep(time.Millisecond)
+			}
+		}
+
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(3)
+		errs := make(chan error, 1)
+		go func() {
+			defer wg.Done()
+			<-start
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			if err := s.Drain(ctx); err != nil {
+				select {
+				case errs <- fmt.Errorf("drain: %w", err):
+				default:
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			<-start
+			s.Cancel(j.ID) //nolint:errcheck // ErrJobTerminal is a legal race outcome
+		}()
+		go func() {
+			defer wg.Done()
+			<-start
+			// Submission racing the drain flag: either admitted or rejected
+			// with ErrDraining; anything else is a bug.
+			if _, err := s.Submit(tinySpec()); err != nil && err != service.ErrDraining {
+				select {
+				case errs <- fmt.Errorf("submit: %w", err):
+				default:
+				}
+			}
+		}()
+		close(start)
+		wg.Wait()
+		select {
+		case err := <-errs:
+			t.Fatal(err)
+		default:
+		}
+
+		// The raced job must be coherent: terminal (cancel won) or queued
+		// for resume (drain won) — and if terminal, status.json must exist;
+		// if queued, it must not.
+		st := j.State()
+		_, statErr := os.Stat(filepath.Join(dir, j.ID, "status.json"))
+		switch {
+		case st.Terminal() && statErr != nil:
+			t.Fatalf("iter %d: job %s terminal (%s) but status.json missing: %v", i, j.ID, st, statErr)
+		case st == service.StateQueued && statErr == nil:
+			t.Fatalf("iter %d: job %s queued for resume but terminal status persisted", i, j.ID)
+		case !st.Terminal() && st != service.StateQueued:
+			t.Fatalf("iter %d: job %s settled in %s", i, j.ID, st)
+		}
+	}
+}
+
 func TestDurationJSON(t *testing.T) {
 	for _, tc := range []struct {
 		in   string

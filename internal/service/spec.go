@@ -314,6 +314,41 @@ func (g *Grid) JournalKey() string {
 		g.Spec.Compact, g.ShardWorkers > 0, h.Sum64())
 }
 
+// LegacyJournalKey reports whether a stored journal key matches want
+// except for pre-canonicalization duty formatting. Older sweep releases
+// wrote the duty axis into the key exactly as the user typed it
+// ("0.10,0.20"); JournalKey now canonicalizes each value through
+// strconv.FormatFloat(d, 'g', -1, 64) ("0.1,0.2"), so a journal written
+// before the change can never match even though its records are valid
+// results for the very same grid. Callers (cmd/sweep) use this to turn a
+// bare key-mismatch error into an actionable migration message instead
+// of leaving the user to diff two opaque key strings.
+func LegacyJournalKey(stored, want string) bool {
+	if stored == want {
+		return false
+	}
+	const marker = "|duties="
+	i := strings.Index(stored, marker)
+	if i < 0 {
+		return false
+	}
+	start := i + len(marker)
+	n := strings.Index(stored[start:], "|")
+	if n < 0 {
+		return false
+	}
+	parts := strings.Split(stored[start:start+n], ",")
+	canon := make([]string, len(parts))
+	for k, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return false
+		}
+		canon[k] = strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	return stored[:start]+strings.Join(canon, ",")+stored[start+n:] == want
+}
+
 // Options returns the runner options the grid's spec asks for (workers,
 // per-run timeout, retry policy). Callers attach Journal, Progress and
 // Telemetry on top.

@@ -1,0 +1,54 @@
+package service
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLegacyJournalKey(t *testing.T) {
+	const want = "sweep|protocols=opt,of|duties=0.1,0.2|seeds=2|m=5|coverage=0.99|toposeed=1|syncerr=0|compact=false|sharded=false|faults=0"
+	cases := []struct {
+		name   string
+		stored string
+		legacy bool
+	}{
+		{"trailing zeros", "sweep|protocols=opt,of|duties=0.10,0.20|seeds=2|m=5|coverage=0.99|toposeed=1|syncerr=0|compact=false|sharded=false|faults=0", true},
+		{"whitespace and zeros", "sweep|protocols=opt,of|duties=0.10, 0.20|seeds=2|m=5|coverage=0.99|toposeed=1|syncerr=0|compact=false|sharded=false|faults=0", true},
+		{"identical key", want, false},
+		{"different grid", "sweep|protocols=opt,of|duties=0.10,0.20|seeds=3|m=5|coverage=0.99|toposeed=1|syncerr=0|compact=false|sharded=false|faults=0", false},
+		{"unparseable duty", "sweep|protocols=opt,of|duties=0.10,zero|seeds=2|m=5|coverage=0.99|toposeed=1|syncerr=0|compact=false|sharded=false|faults=0", false},
+		{"no duties segment", "sweep|protocols=opt,of|seeds=2|m=5", false},
+		{"unterminated duties", "sweep|protocols=opt,of|duties=0.10,0.20", false},
+	}
+	for _, tc := range cases {
+		if got := LegacyJournalKey(tc.stored, want); got != tc.legacy {
+			t.Errorf("%s: LegacyJournalKey = %v, want %v", tc.name, got, tc.legacy)
+		}
+	}
+}
+
+// TestLegacyJournalKeyMatchesCompiledKey ties the detector to the real
+// key format: a compiled grid's key with its duty segment rewritten to
+// the pre-canonicalization spelling must be recognized as legacy.
+func TestLegacyJournalKeyMatchesCompiledKey(t *testing.T) {
+	grid, err := Compile(Spec{
+		Protocols: []string{"opt"},
+		Duties:    []float64{0.1, 0.2},
+		Seeds:     1,
+		M:         5,
+		Coverage:  0.99,
+		TopoSeed:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := grid.JournalKey()
+	const canon = "|duties=0.1,0.2|"
+	if !strings.Contains(want, canon) {
+		t.Fatalf("compiled key %q lacks canonical duty segment %q", want, canon)
+	}
+	legacy := strings.Replace(want, canon, "|duties=0.10,0.20|", 1)
+	if !LegacyJournalKey(legacy, want) {
+		t.Fatalf("legacy spelling of compiled key not detected:\nstored %q\nwant   %q", legacy, want)
+	}
+}
