@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race bench bench-engine bench-scale bench-guard docscheck figures figures-quick faults floodd-smoke floodd-chaos fuzz-faults fuzz-shard examples clean
+.PHONY: all build vet test test-short test-race bench bench-engine bench-scale bench-guard docscheck figures figures-quick faults floodd-smoke floodd-chaos trace-smoke fuzz-faults fuzz-shard fuzz-trace examples clean
 
 all: build vet test
 
@@ -75,6 +75,13 @@ floodd-smoke:
 floodd-chaos:
 	sh scripts/floodd-chaos.sh
 
+# End-to-end exercise of the trace pipeline (docs/TRACE.md): emit both
+# encodings, certify lossless text <-> binary round trips byte-for-byte,
+# validate physical consistency, tolerate a torn tail, and check per-cell
+# sweep traces. Mirrored in CI.
+trace-smoke:
+	sh scripts/trace-smoke.sh
+
 # Randomized fault schedules vs engine invariants and compact-path
 # equivalence; CI runs a 10s smoke of this.
 fuzz-faults:
@@ -84,6 +91,11 @@ fuzz-faults:
 # merge path's byte-identity contracts; CI runs a 10s smoke of this.
 fuzz-shard:
 	$(GO) test -fuzz FuzzShardMerge -fuzztime 30s ./internal/sim
+
+# Random bytes vs the binary trace reader's crash-safety taxonomy (clean /
+# torn / corrupt, never a panic); CI runs a 10s smoke of this.
+fuzz-trace:
+	$(GO) test -fuzz FuzzReader -fuzztime 30s ./internal/tracebin
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -2,9 +2,11 @@
 // exported package-level symbol (and every package) under the given
 // directories must carry a doc comment, and every exported method of an
 // exported interface must carry its own (the interface's doc comment does
-// not excuse its methods — they are the contract). CI runs it over
-// internal/ and cmd/; a missing comment fails the build with a file:line
-// listing.
+// not excuse its methods — they are the contract). Exported consts and
+// vars inside grouped declarations each need their own comment too — a
+// group doc describes the family, not what any one member means. CI runs
+// it over internal/ and cmd/; a missing comment fails the build with a
+// file:line listing.
 //
 // The check is intentionally stdlib-only (go/parser + go/ast — no
 // external linters): it verifies presence and placement of doc comments,
@@ -97,10 +99,11 @@ func checkTree(root string) ([]string, error) {
 }
 
 // checkFile reports exported package-level declarations without a doc
-// comment. For grouped const/var/type declarations a comment on the group
-// covers every spec; otherwise each exported spec needs its own. Methods
-// of an exported interface are part of its contract, so each exported
-// method must carry its own comment — the type's doc does not cover them.
+// comment. A declaration-level comment covers a lone spec; inside a
+// multi-spec const/var group each exported member needs its own comment
+// (grouped types always do). Methods of an exported interface are part of
+// its contract, so each exported method must carry its own comment — the
+// type's doc does not cover them.
 func checkFile(fset *token.FileSet, file *ast.File) []string {
 	var problems []string
 	report := func(pos token.Pos, kind, name string) {
@@ -135,7 +138,15 @@ func checkFile(fset *token.FileSet, file *ast.File) []string {
 						}
 					}
 				case *ast.ValueSpec:
-					if d.Doc != nil || s.Doc != nil || s.Comment != nil {
+					// A doc comment on the declaration covers a lone spec
+					// ("// Foo is ...\nconst Foo = 1") but not the members of
+					// a multi-spec group: there the group doc describes the
+					// family while each exported member still needs its own
+					// comment saying what that member means.
+					if s.Doc != nil || s.Comment != nil {
+						continue
+					}
+					if d.Doc != nil && len(d.Specs) == 1 {
 						continue
 					}
 					for _, n := range s.Names {

@@ -10,6 +10,12 @@
 // field-for-field; a mismatch fails the command, so a committed baseline
 // also certifies fast-path equivalence on the full grid.
 //
+// Each case also re-times the compact path with a full event trace
+// attached in both encodings (text tracelog vs binary tracebin), recording
+// the emit cost and the deterministic per-run byte counts — the committed
+// baseline doubles as the measured size-reduction record referenced by
+// docs/TRACE.md and EXPERIMENTS.md.
+//
 // Usage:
 //
 //	go run ./cmd/engbench [-reps 5] [-o BENCH_engine.json]
@@ -40,6 +46,8 @@ import (
 	"ldcflood/internal/sim"
 	"ldcflood/internal/telemetry"
 	"ldcflood/internal/topology"
+	"ldcflood/internal/tracebin"
+	"ldcflood/internal/tracelog"
 )
 
 // benchCase is one grid cell of the committed baseline.
@@ -66,6 +74,17 @@ type benchCase struct {
 	// telemetry layer omit both; guard then skips the telemetry check.
 	TelemetryNS       int64   `json:"telemetry_ns,omitempty"`
 	TelemetryOverhead float64 `json:"telemetry_overhead,omitempty"`
+	// TraceTextNS / TraceBinNS are the compact path re-timed with a full
+	// event-trace observer attached — the text encoding (internal/tracelog)
+	// versus the binary one (internal/tracebin). TraceTextBytes /
+	// TraceBinBytes are the bytes one run emits in each encoding; they are
+	// deterministic, so guard demands exact equality, while the timings get
+	// the usual tolerance. Baselines written before the trace layer omit
+	// all four; guard then skips the trace checks.
+	TraceTextNS    int64 `json:"trace_text_ns,omitempty"`
+	TraceBinNS     int64 `json:"trace_bin_ns,omitempty"`
+	TraceTextBytes int64 `json:"trace_text_bytes,omitempty"`
+	TraceBinBytes  int64 `json:"trace_bin_bytes,omitempty"`
 }
 
 // baseline is the BENCH_engine.json document.
@@ -180,6 +199,27 @@ func guard(doc *baseline, path string, tol float64) error {
 					c.Protocol, c.Duty, float64(c.TelemetryNS)/1e6, float64(b.TelemetryNS)/1e6, tol*100)
 			}
 		}
+		// Likewise for baselines predating the trace layer. The byte counts
+		// are deterministic: any drift means an encoding changed, not that
+		// the machine was busy, so they must match exactly.
+		if b.TraceBinBytes > 0 {
+			if c.TraceTextBytes != b.TraceTextBytes {
+				return fmt.Errorf("%s/%s: text trace emits %d bytes, baseline %d — encoding changed",
+					c.Protocol, c.Duty, c.TraceTextBytes, b.TraceTextBytes)
+			}
+			if c.TraceBinBytes != b.TraceBinBytes {
+				return fmt.Errorf("%s/%s: binary trace emits %d bytes, baseline %d — encoding changed",
+					c.Protocol, c.Duty, c.TraceBinBytes, b.TraceBinBytes)
+			}
+			if lim := float64(b.TraceTextNS) * (1 + tol); float64(c.TraceTextNS) > lim {
+				return fmt.Errorf("%s/%s: text-traced path %.2fms regressed past baseline %.2fms +%.0f%%",
+					c.Protocol, c.Duty, float64(c.TraceTextNS)/1e6, float64(b.TraceTextNS)/1e6, tol*100)
+			}
+			if lim := float64(b.TraceBinNS) * (1 + tol); float64(c.TraceBinNS) > lim {
+				return fmt.Errorf("%s/%s: binary-traced path %.2fms regressed past baseline %.2fms +%.0f%%",
+					c.Protocol, c.Duty, float64(c.TraceBinNS)/1e6, float64(b.TraceBinNS)/1e6, tol*100)
+			}
+		}
 	}
 	return nil
 }
@@ -221,7 +261,20 @@ func measure(reps int) (*baseline, error) {
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s telemetry: %w", name, duty.name, err)
 			}
+			// Trace-emission cost: the same compact cell re-timed with a
+			// full event trace streaming to a byte-counting sink, once per
+			// encoding. Results must again stay bit-identical.
+			textNS, textBytes, textRes, err := timeTraced(g, scheds, name, "text", reps)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s text trace: %w", name, duty.name, err)
+			}
+			binNS, binBytes, binRes, err := timeTraced(g, scheds, name, "bin", reps)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s binary trace: %w", name, duty.name, err)
+			}
 			c.SlowNS, c.CompactNS, c.TelemetryNS = slowNS, compactNS, telNS
+			c.TraceTextNS, c.TraceBinNS = textNS, binNS
+			c.TraceTextBytes, c.TraceBinBytes = textBytes, binBytes
 			c.Speedup = float64(slowNS) / float64(compactNS)
 			c.TelemetryOverhead = float64(telNS)/float64(compactNS) - 1
 			c.Slots = slowRes.TotalSlots
@@ -232,8 +285,12 @@ func measure(reps int) (*baseline, error) {
 			if !reflect.DeepEqual(compactRes, telRes) {
 				return nil, fmt.Errorf("%s/%s: attaching telemetry changed the result", name, duty.name)
 			}
-			fmt.Printf("%-5s duty=%s  slow=%8.2fms  compact=%8.2fms  speedup=%.2fx  telemetry=%+.1f%%\n",
-				name, duty.name, float64(slowNS)/1e6, float64(compactNS)/1e6, c.Speedup, c.TelemetryOverhead*100)
+			if !reflect.DeepEqual(compactRes, textRes) || !reflect.DeepEqual(compactRes, binRes) {
+				return nil, fmt.Errorf("%s/%s: attaching a trace observer changed the result", name, duty.name)
+			}
+			fmt.Printf("%-5s duty=%s  slow=%8.2fms  compact=%8.2fms  speedup=%.2fx  telemetry=%+.1f%%  trace text=%6.2fms bin=%6.2fms (%.1fx smaller)\n",
+				name, duty.name, float64(slowNS)/1e6, float64(compactNS)/1e6, c.Speedup, c.TelemetryOverhead*100,
+				float64(textNS)/1e6, float64(binNS)/1e6, float64(textBytes)/float64(binBytes))
 			doc.Cases = append(doc.Cases, c)
 		}
 	}
@@ -280,4 +337,70 @@ func timeCase(g *topology.Graph, scheds []*schedule.Schedule, name string, compa
 		}
 	}
 	return best.Nanoseconds(), warm[0].Res, nil
+}
+
+// countWriter counts the bytes written through it and discards them.
+type countWriter struct{ n int64 }
+
+func (c *countWriter) Write(p []byte) (int, error) { c.n += int64(len(p)); return len(p), nil }
+
+// timeTraced re-times the compact path with a full event-trace observer
+// attached in the given encoding ("text" or "bin"), streaming to a
+// byte-counting sink. It returns the minimum wall-clock per run, the
+// (deterministic) bytes one run emits, and the simulation result. Each
+// repetition gets a fresh writer — both encoders carry per-document state
+// (the binary one delta-encodes against previous records).
+func timeTraced(g *topology.Graph, scheds []*schedule.Schedule, name, format string, reps int) (int64, int64, *sim.Result, error) {
+	p, err := flood.New(name)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	one := func() (*sim.Result, time.Duration, int64, error) {
+		cw := &countWriter{}
+		var obs sim.Observer
+		var flush func() error
+		if format == "text" {
+			l := tracelog.NewLogger(cw)
+			obs, flush = l, l.Flush
+		} else {
+			w := tracebin.NewWriter(cw)
+			obs, flush = w, w.Flush
+		}
+		cfg := sim.Config{
+			Graph:       g,
+			Schedules:   scheds,
+			Protocol:    p,
+			M:           10,
+			Coverage:    0.99,
+			Seed:        1,
+			CompactTime: true,
+			Observer:    obs,
+		}
+		rs, st := runner.Run(context.Background(), []sim.Config{cfg}, runner.Options{Workers: 1})
+		if err := rs.Err(); err != nil {
+			return nil, 0, 0, err
+		}
+		if err := flush(); err != nil {
+			return nil, 0, 0, err
+		}
+		return rs[0].Res, st.Wall, cw.n, nil
+	}
+	res, _, bytes, err := one() // warm-up, and the canonical byte count
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	var best time.Duration
+	for i := 0; i < reps; i++ {
+		_, wall, n, err := one()
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		if n != bytes {
+			return 0, 0, nil, fmt.Errorf("%s trace emitted %d bytes on one run and %d on another — nondeterministic", format, bytes, n)
+		}
+		if i == 0 || wall < best {
+			best = wall
+		}
+	}
+	return best.Nanoseconds(), bytes, res, nil
 }

@@ -7,10 +7,16 @@
 //	floodsim [-protocol opt|dbao|of|naive] [-duty 0.05] [-m 100]
 //	         [-coverage 0.99] [-seed 1] [-topo greenorbs|<file>]
 //	         [-toposeed 1] [-inject 1] [-v]
+//	         [-trace FILE] [-trace-format text|bin]
 //	         [-debug-addr :8080] [-stats]
 //
 // The default topology is the synthetic 298-node GreenOrbs trace; -topo
 // accepts a trace file in the topogen text format instead.
+//
+// -trace writes the full event trace; -trace-format selects the text
+// format (internal/tracelog, default) or the compact binary format
+// (internal/tracebin, ~several times smaller — see docs/TRACE.md).
+// Convert or inspect either with cmd/tracecat.
 //
 // -debug-addr serves the live telemetry snapshot (expvar-compatible
 // /debug/vars) and net/http/pprof on the given address while the run
@@ -31,24 +37,26 @@ import (
 	"ldcflood/internal/sim"
 	"ldcflood/internal/telemetry"
 	"ldcflood/internal/topology"
+	"ldcflood/internal/tracebin"
 	"ldcflood/internal/tracelog"
 )
 
 // options collects the flag values one run consumes.
 type options struct {
-	protoName string
-	topoName  string
-	duty      float64
-	m         int
-	coverage  float64
-	seed      uint64
-	topoSeed  uint64
-	inject    int
-	maxSlots  int64
-	verbose   bool
-	traceFile string
-	debugAddr string    // "" disables the /debug/vars + pprof server
-	statsOut  io.Writer // nil disables the final telemetry table
+	protoName   string
+	topoName    string
+	duty        float64
+	m           int
+	coverage    float64
+	seed        uint64
+	topoSeed    uint64
+	inject      int
+	maxSlots    int64
+	verbose     bool
+	traceFile   string
+	traceFormat string
+	debugAddr   string    // "" disables the /debug/vars + pprof server
+	statsOut    io.Writer // nil disables the final telemetry table
 }
 
 func main() {
@@ -64,6 +72,7 @@ func main() {
 	flag.Int64Var(&o.maxSlots, "maxslots", 0, "slot horizon (0 = automatic)")
 	flag.BoolVar(&o.verbose, "v", false, "print per-packet delays")
 	flag.StringVar(&o.traceFile, "trace", "", "write the full event trace to this file")
+	flag.StringVar(&o.traceFormat, "trace-format", "text", "trace encoding: 'text' (tracelog) or 'bin' (compact binary, docs/TRACE.md)")
 	flag.StringVar(&o.debugAddr, "debug-addr", "", "serve live telemetry (/debug/vars) and pprof on this address during the run (e.g. :8080, :0 for an ephemeral port)")
 	stats := flag.Bool("stats", false, "print the final telemetry counter table to stderr")
 	flag.Parse()
@@ -92,19 +101,34 @@ func run(o options) error {
 	period := schedule.PeriodForDuty(o.duty)
 	scheds := schedule.AssignUniform(g.N(), period, rngutil.New(o.seed).SubName("schedule"))
 	var observer sim.Observer
-	var logger *tracelog.Logger
+	var flush func() error
+	var binWriter *tracebin.Writer
 	if o.traceFile != "" {
 		f, err := os.Create(o.traceFile)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		logger = tracelog.NewLogger(f)
-		observer = logger
+		switch o.traceFormat {
+		case "":
+			o.traceFormat = "text"
+			fallthrough
+		case "text":
+			logger := tracelog.NewLogger(f)
+			observer, flush = logger, logger.Flush
+		case "bin":
+			binWriter = tracebin.NewWriter(f)
+			observer, flush = binWriter, binWriter.Flush
+		default:
+			return fmt.Errorf("unknown -trace-format %q (want 'text' or 'bin')", o.traceFormat)
+		}
 	}
 	var reg *telemetry.Registry
 	if o.debugAddr != "" || o.statsOut != nil {
 		reg = telemetry.New()
+		if binWriter != nil {
+			binWriter.Instrument(reg)
+		}
 		if o.debugAddr != "" {
 			srv, err := telemetry.Serve(o.debugAddr, reg)
 			if err != nil {
@@ -136,8 +160,8 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
-	if logger != nil {
-		if err := logger.Flush(); err != nil {
+	if flush != nil {
+		if err := flush(); err != nil {
 			return err
 		}
 	}

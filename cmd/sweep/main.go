@@ -9,6 +9,7 @@
 //	      [-faults spec.json] [-compact]
 //	      [-journal sweep.journal] [-resume] [-retries 0] [-backoff 1s]
 //	      [-out results.csv] [-parallel 0] [-timeout 0] [-progress]
+//	      [-trace-dir DIR] [-trace-format text|bin]
 //	      [-debug-addr :8080] [-stats]
 //
 // The grid executes on the internal/runner batch executor: -parallel
@@ -22,6 +23,15 @@
 // address for the duration of the sweep; -stats prints the final counter
 // table to stderr. Both observe the simulation without affecting it — the
 // CSV stays byte-identical. See docs/OBSERVABILITY.md.
+//
+// -trace-dir writes one full event trace per cell into the directory
+// (created if missing), named <protocol>_duty<duty>_seed<seed> with a
+// .trace (text) or .tracebin (binary) extension; -trace-format selects
+// the encoding (default text). Binary traces are several times smaller
+// and convert losslessly with cmd/tracecat — see docs/TRACE.md. Tracing
+// observes the simulation without affecting it: the CSV stays
+// byte-identical, and so do the trace bytes for every -parallel and
+// -workers value within the same engine family.
 //
 // -faults applies a JSON fault schedule (see internal/fault) to every
 // cell; -compact opts into the compact-time fast path, which silently
@@ -44,6 +54,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -51,6 +62,8 @@ import (
 	"ldcflood/internal/runner"
 	"ldcflood/internal/service"
 	"ldcflood/internal/telemetry"
+	"ldcflood/internal/tracebin"
+	"ldcflood/internal/tracelog"
 )
 
 func main() {
@@ -73,6 +86,8 @@ func main() {
 		workers   = flag.Int("workers", 0, "per-run shard workers: 0 = historical serial engine, >= 1 = sharded deterministic mode (identical results for every count), -1 = auto-split the machine between batch and shard workers")
 		timeout   = flag.Duration("timeout", 0, "per-run wall-clock budget (0 = none); an overrunning cell fails with a typed timeout error")
 		progress  = flag.Bool("progress", false, "print live batch progress to stderr")
+		traceDir  = flag.String("trace-dir", "", "write one event trace per cell into this directory (created if missing)")
+		traceFmt  = flag.String("trace-format", "text", "trace encoding for -trace-dir: 'text' (tracelog) or 'bin' (compact binary, docs/TRACE.md)")
 		debugAddr = flag.String("debug-addr", "", "serve live telemetry (/debug/vars) and pprof on this address during the sweep (e.g. :8080, :0 for an ephemeral port)")
 		statsFlag = flag.Bool("stats", false, "print the final telemetry counter table to stderr")
 	)
@@ -105,6 +120,8 @@ func main() {
 		parallel:     *parallel,
 		workers:      *workers,
 		timeout:      *timeout,
+		traceDir:     *traceDir,
+		traceFormat:  *traceFmt,
 		debugAddr:    *debugAddr,
 	}
 	if *progress {
@@ -136,6 +153,8 @@ type sweepConfig struct {
 	parallel     int
 	workers      int // sim.Config.Workers; -1 = auto-split with the batch runner
 	timeout      time.Duration
+	traceDir     string    // "" disables per-cell trace files
+	traceFormat  string    // "text" or "bin"; only read when traceDir is set
 	progress     io.Writer // nil disables progress reporting
 	debugAddr    string    // "" disables the /debug/vars + pprof server
 	statsOut     io.Writer // nil disables the final telemetry table
@@ -209,8 +228,9 @@ func run(w io.Writer, sc sweepConfig) error {
 	jobs := grid.Jobs
 
 	ropts := grid.Options()
+	var reg *telemetry.Registry
 	if sc.debugAddr != "" || sc.statsOut != nil {
-		reg := telemetry.New()
+		reg = telemetry.New()
 		ropts.Telemetry = reg
 		for i := range jobs {
 			jobs[i].Telemetry = reg
@@ -232,6 +252,45 @@ func run(w io.Writer, sc sweepConfig) error {
 					fmt.Fprintln(os.Stderr, "sweep: warning:", err)
 				}
 			}()
+		}
+	}
+	var flushTraces []func() error
+	if sc.traceDir != "" {
+		var ext string
+		switch sc.traceFormat {
+		case "":
+			sc.traceFormat = "text"
+			fallthrough
+		case "text":
+			ext = "trace"
+		case "bin":
+			ext = "tracebin"
+		default:
+			return fmt.Errorf("unknown -trace-format %q (want 'text' or 'bin')", sc.traceFormat)
+		}
+		if err := os.MkdirAll(sc.traceDir, 0o755); err != nil {
+			return err
+		}
+		for i := range jobs {
+			c := grid.Cells[i]
+			name := fmt.Sprintf("%s_duty%.4f_seed%d.%s", c.Protocol, c.Duty, c.Seed, ext)
+			f, err := os.Create(filepath.Join(sc.traceDir, name))
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if sc.traceFormat == "text" {
+				l := tracelog.NewLogger(f)
+				jobs[i].Observer = l
+				flushTraces = append(flushTraces, l.Flush)
+			} else {
+				bw := tracebin.NewWriter(f)
+				if reg != nil {
+					bw.Instrument(reg)
+				}
+				jobs[i].Observer = bw
+				flushTraces = append(flushTraces, bw.Flush)
+			}
 		}
 	}
 	if sc.journalPath != "" {
@@ -256,5 +315,10 @@ func run(w io.Writer, sc sweepConfig) error {
 		ropts.Progress = runner.ProgressPrinter(sc.progress, time.Second)
 	}
 	rs, _ := runner.Run(context.Background(), jobs, ropts)
+	for _, flush := range flushTraces {
+		if err := flush(); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
 	return grid.WriteCSV(w, rs)
 }

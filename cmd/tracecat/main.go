@@ -1,0 +1,182 @@
+// Command tracecat converts and inspects flooding event traces in either
+// of the two on-disk encodings: the line-oriented text format
+// (internal/tracelog) and the compact binary format (internal/tracebin).
+// The input encoding is auto-detected from the file's leading bytes (a
+// binary trace always starts with the "LDCT" magic), so the same command
+// line works on both.
+//
+// Usage:
+//
+//	tracecat [-to text|bin] [-o FILE] [-summary] [-validate] [FILE]
+//
+// With no FILE (or "-") the trace is read from stdin. The default action
+// converts to the -to encoding (text unless told otherwise) and writes it
+// to -o (stdout unless told otherwise) — so a bare
+//
+//	tracecat flood.tracebin
+//
+// prints a binary trace as readable text, and
+//
+//	tracecat -to bin -o flood.tracebin flood.trace
+//
+// packs a text trace (flags must precede the file, as usual for the
+// standard flag package). Conversion is lossless in both directions: the two
+// encodings carry the identical event tuples, and text -> bin -> text
+// reproduces the original bytes (see docs/TRACE.md for the compatibility
+// matrix).
+//
+// -summary prints event counts, outcome histogram, and the slot span
+// instead of converting. -validate replays the trace against the
+// simulator's physical rules (tracelog.Validate) and fails loudly on the
+// first inconsistency. The two compose with each other and suppress
+// conversion.
+//
+// A binary trace with a torn tail — a writer killed before its last
+// buffered record drained — is read to the tear and reported as a warning
+// on stderr, matching the crash tolerance of the sweep journal; corruption
+// (bad magic, unknown record kind) is a hard error.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"ldcflood/internal/sim"
+	"ldcflood/internal/tracebin"
+	"ldcflood/internal/tracelog"
+)
+
+func main() {
+	var (
+		to       = flag.String("to", "text", "output encoding: 'text' (tracelog) or 'bin' (compact binary)")
+		out      = flag.String("o", "", "output path (default stdout)")
+		summary  = flag.Bool("summary", false, "print trace statistics instead of converting")
+		validate = flag.Bool("validate", false, "check the trace against the simulator's physical rules instead of converting")
+	)
+	flag.Parse()
+	if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "tracecat: at most one input file")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *to, *out, *summary, *validate); err != nil {
+		fmt.Fprintln(os.Stderr, "tracecat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, to, out string, summary, validate bool) error {
+	events, err := load(path)
+	if err != nil {
+		return err
+	}
+	if validate {
+		if err := tracelog.Validate(events); err != nil {
+			return fmt.Errorf("invalid trace: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "tracecat: %d events, trace is consistent\n", len(events))
+	}
+	if summary {
+		return printSummary(os.Stdout, events)
+	}
+	if validate {
+		return nil
+	}
+
+	var w io.Writer = os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch to {
+	case "text":
+		bw := bufio.NewWriter(w)
+		l := tracelog.NewLogger(bw)
+		for _, ev := range events {
+			emit(l, ev)
+		}
+		if err := l.Flush(); err != nil {
+			return err
+		}
+		return bw.Flush()
+	case "bin":
+		tw := tracebin.NewWriter(w)
+		if err := tw.WriteEvents(events); err != nil {
+			return err
+		}
+		return tw.Flush()
+	}
+	return fmt.Errorf("unknown -to %q (want 'text' or 'bin')", to)
+}
+
+// load reads the whole input and decodes it, sniffing the encoding from
+// the leading bytes: a tracebin document always starts with the magic,
+// which can never begin a tracelog line.
+func load(path string) ([]tracelog.Event, error) {
+	var data []byte
+	var err error
+	if path == "" || path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(data) >= len(tracebin.Magic) && string(data[:len(tracebin.Magic)]) == tracebin.Magic {
+		events, torn, err := tracebin.ReadAll(bytes.NewReader(data))
+		if err != nil {
+			return nil, err
+		}
+		if torn {
+			fmt.Fprintf(os.Stderr, "tracecat: warning: torn tail — trace ends mid-record, decoded the %d events before the tear\n", len(events))
+		}
+		return events, nil
+	}
+	return tracelog.Parse(bytes.NewReader(data))
+}
+
+// emit replays one decoded event into a logger, the text-encoding dual of
+// tracebin.Writer.WriteEvent.
+func emit(l *tracelog.Logger, ev tracelog.Event) {
+	switch ev.Kind {
+	case tracelog.KindInject:
+		l.OnInject(ev.T, ev.Packet)
+	case tracelog.KindTransmit:
+		l.OnTransmit(ev.T, ev.From, ev.To, ev.Packet, ev.Outcome)
+	case tracelog.KindOverhear:
+		l.OnOverhear(ev.T, ev.From, ev.To, ev.Packet)
+	case tracelog.KindCovered:
+		l.OnCovered(ev.T, ev.Packet)
+	}
+}
+
+// printSummary renders tracelog.Summarize as an aligned table with a
+// deterministic outcome ordering.
+func printSummary(w io.Writer, events []tracelog.Event) error {
+	s := tracelog.Summarize(events)
+	fmt.Fprintf(w, "events         %d\n", s.Events)
+	fmt.Fprintf(w, "injections     %d\n", s.Injections)
+	fmt.Fprintf(w, "transmissions  %d\n", s.Transmissions)
+	outcomes := make([]sim.TxOutcome, 0, len(s.Outcomes))
+	for o := range s.Outcomes {
+		outcomes = append(outcomes, o)
+	}
+	sort.Slice(outcomes, func(i, j int) bool { return outcomes[i] < outcomes[j] })
+	for _, o := range outcomes {
+		fmt.Fprintf(w, "  outcome %-12s %d\n", o, s.Outcomes[o])
+	}
+	fmt.Fprintf(w, "overheard      %d\n", s.Overheard)
+	fmt.Fprintf(w, "covered        %d\n", s.Covered)
+	fmt.Fprintf(w, "slots          %d..%d\n", s.FirstSlot, s.LastSlot)
+	fmt.Fprintf(w, "active senders %d\n", len(s.PerNodeTx))
+	return nil
+}

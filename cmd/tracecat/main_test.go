@@ -1,0 +1,178 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ldcflood/internal/rngutil"
+	"ldcflood/internal/schedule"
+	"ldcflood/internal/sim"
+	"ldcflood/internal/topology"
+	"ldcflood/internal/tracebin"
+	"ldcflood/internal/tracelog"
+
+	"ldcflood/internal/flood"
+)
+
+// capture runs one small flood and returns its trace in both encodings.
+func capture(t *testing.T) (text, bin []byte) {
+	t.Helper()
+	g := topology.Grid(5, 5, 0.9)
+	p, err := flood.New("opt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tbuf bytes.Buffer
+	logger := tracelog.NewLogger(&tbuf)
+	cfg := sim.Config{
+		Graph:          g,
+		Schedules:      schedule.AssignUniform(g.N(), 10, rngutil.New(7).SubName("schedule")),
+		Protocol:       p,
+		M:              3,
+		InjectInterval: 2,
+		Coverage:       1,
+		Seed:           7,
+		Observer:       logger,
+	}
+	if _, err := sim.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := logger.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := tracelog.Parse(bytes.NewReader(tbuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	binBytes, err := tracebin.Encode(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbuf.Bytes(), binBytes
+}
+
+// TestConvertRoundTrip drives run() through both conversion directions on
+// real trace files and demands byte-identity.
+func TestConvertRoundTrip(t *testing.T) {
+	text, bin := capture(t)
+	dir := t.TempDir()
+	textPath := filepath.Join(dir, "flood.trace")
+	binPath := filepath.Join(dir, "flood.tracebin")
+	if err := os.WriteFile(textPath, text, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(binPath, bin, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	gotBin := filepath.Join(dir, "out.tracebin")
+	if err := run(textPath, "bin", gotBin, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(gotBin); !bytes.Equal(got, bin) {
+		t.Error("text -> bin conversion does not match direct encoding")
+	}
+
+	gotText := filepath.Join(dir, "out.trace")
+	if err := run(binPath, "text", gotText, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(gotText); !bytes.Equal(got, text) {
+		t.Error("bin -> text conversion does not reproduce the original text")
+	}
+
+	if err := run(textPath, "xml", gotText, false, false); err == nil {
+		t.Error("unknown -to encoding did not error")
+	}
+}
+
+// TestValidate exercises the -validate path on a good trace and on one
+// that breaks possession monotonicity.
+func TestValidate(t *testing.T) {
+	text, _ := capture(t)
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.trace")
+	if err := os.WriteFile(good, text, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(good, "text", filepath.Join(dir, "sink"), false, true); err != nil {
+		t.Fatalf("valid trace failed validation: %v", err)
+	}
+	bad := filepath.Join(dir, "bad.trace")
+	// Node 3 transmits packet 0 without ever holding it.
+	if err := os.WriteFile(bad, []byte("T 1 3 4 0 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(bad, "text", filepath.Join(dir, "sink2"), false, true); err == nil {
+		t.Fatal("inconsistent trace passed validation")
+	}
+}
+
+// TestLoadDetectsAndReports checks format sniffing, torn-tail tolerance,
+// and hard errors on corrupt input.
+func TestLoadDetectsAndReports(t *testing.T) {
+	text, bin := capture(t)
+	dir := t.TempDir()
+
+	textPath := filepath.Join(dir, "a.trace")
+	if err := os.WriteFile(textPath, text, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fromText, err := load(textPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binPath := filepath.Join(dir, "a.tracebin")
+	if err := os.WriteFile(binPath, bin, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := load(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fromText) == 0 || len(fromText) != len(fromBin) {
+		t.Fatalf("sniffed decodes disagree: %d text vs %d bin events", len(fromText), len(fromBin))
+	}
+
+	torn := filepath.Join(dir, "torn.tracebin")
+	if err := os.WriteFile(torn, bin[:len(bin)-1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	events, err := load(torn)
+	if err != nil {
+		t.Fatalf("torn tail must not be an error: %v", err)
+	}
+	if len(events) != len(fromBin)-1 {
+		t.Fatalf("torn load returned %d events, want %d", len(events), len(fromBin)-1)
+	}
+
+	corrupt := filepath.Join(dir, "corrupt.trace")
+	if err := os.WriteFile(corrupt, []byte("Z 1 2 3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := load(corrupt); err == nil || !strings.Contains(err.Error(), "line 1") {
+		t.Fatalf("corrupt text load error %v does not name the line", err)
+	}
+}
+
+// TestSummary spot-checks the rendered statistics table.
+func TestSummary(t *testing.T) {
+	text, _ := capture(t)
+	events, err := tracelog.Parse(bytes.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := printSummary(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"injections     3", "covered        3", "outcome success"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}

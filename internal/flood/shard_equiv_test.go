@@ -3,9 +3,12 @@ package flood
 // Equivalence suite for the sharded engine (sim.Config.Workers >= 1) with
 // the real protocols: worker counts must be interchangeable byte for byte
 // across every protocol × time path × fault family, and the two time paths
-// must agree under sharding just as they do serially. Also certifies the
-// sparse (spatial-hash) carrier-sense audibility against the dense matrix,
-// membership-exact and end to end.
+// must agree under sharding just as they do serially. Every run captures
+// its trace in BOTH encodings — text (tracelog) and binary (tracebin) —
+// and the byte-identity guarantees are asserted on each independently,
+// plus a round-trip check that the two encodings carry identical events.
+// Also certifies the sparse (spatial-hash) carrier-sense audibility
+// against the dense matrix, membership-exact and end to end.
 
 import (
 	"bytes"
@@ -15,32 +18,112 @@ import (
 	"ldcflood/internal/fault"
 	"ldcflood/internal/sim"
 	"ldcflood/internal/topology"
+	"ldcflood/internal/tracebin"
 	"ldcflood/internal/tracelog"
 )
 
+// fanout forwards every engine event to both trace encoders, so a single
+// run yields its text and binary traces from the same event stream.
+type fanout struct {
+	text *tracelog.Logger
+	bin  *tracebin.Writer
+}
+
+func (f fanout) OnInject(t int64, packet int) {
+	f.text.OnInject(t, packet)
+	f.bin.OnInject(t, packet)
+}
+
+func (f fanout) OnTransmit(t int64, from, to, packet int, outcome sim.TxOutcome) {
+	f.text.OnTransmit(t, from, to, packet, outcome)
+	f.bin.OnTransmit(t, from, to, packet, outcome)
+}
+
+func (f fanout) OnOverhear(t int64, from, node, packet int) {
+	f.text.OnOverhear(t, from, node, packet)
+	f.bin.OnOverhear(t, from, node, packet)
+}
+
+func (f fanout) OnCovered(t int64, packet int) {
+	f.text.OnCovered(t, packet)
+	f.bin.OnCovered(t, packet)
+}
+
+// traces bundles one run's trace bytes in both encodings.
+type traces struct {
+	text, bin []byte
+}
+
 // runSharded executes one configuration with the given worker count and
-// time path, returning the result and trace bytes. A fresh protocol
-// instance per run keeps memoized state from crossing runs.
-func runSharded(t *testing.T, cfg sim.Config, protocol string, workers int, compact bool) (*sim.Result, []byte) {
+// time path, returning the result and the trace bytes in both encodings.
+// A fresh protocol instance per run keeps memoized state from crossing
+// runs.
+func runSharded(t *testing.T, cfg sim.Config, protocol string, workers int, compact bool) (*sim.Result, traces) {
 	t.Helper()
 	p, err := New(protocol)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var buf bytes.Buffer
+	var tbuf, bbuf bytes.Buffer
+	obs := fanout{text: tracelog.NewLogger(&tbuf), bin: tracebin.NewWriter(&bbuf)}
 	c := cfg
 	c.Protocol = p
-	c.Observer = tracelog.NewLogger(&buf)
+	c.Observer = obs
 	c.Workers = workers
 	c.CompactTime = compact
 	res, err := sim.Run(c)
 	if err != nil {
 		t.Fatalf("%s workers=%d compact=%v: %v", protocol, workers, compact, err)
 	}
-	if err := c.Observer.(*tracelog.Logger).Flush(); err != nil {
+	if err := obs.text.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	return res, buf.Bytes()
+	if err := obs.bin.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return res, traces{text: tbuf.Bytes(), bin: bbuf.Bytes()}
+}
+
+// equalTraces asserts byte-identity of two runs' traces in both encodings.
+func equalTraces(t *testing.T, a, b traces, context string) {
+	t.Helper()
+	if !bytes.Equal(a.text, b.text) {
+		t.Errorf("%s: text traces diverge", context)
+	}
+	if !bytes.Equal(a.bin, b.bin) {
+		t.Errorf("%s: binary traces diverge", context)
+	}
+}
+
+// checkRoundTrip asserts the two encodings of one run carry identical
+// events: the binary trace decodes cleanly and re-renders to the exact
+// text bytes.
+func checkRoundTrip(t *testing.T, tr traces, context string) {
+	t.Helper()
+	events, torn, err := tracebin.ReadAll(bytes.NewReader(tr.bin))
+	if err != nil || torn {
+		t.Fatalf("%s: binary trace did not decode cleanly: torn=%v err=%v", context, torn, err)
+	}
+	var buf bytes.Buffer
+	l := tracelog.NewLogger(&buf)
+	for _, ev := range events {
+		switch ev.Kind {
+		case tracelog.KindInject:
+			l.OnInject(ev.T, ev.Packet)
+		case tracelog.KindTransmit:
+			l.OnTransmit(ev.T, ev.From, ev.To, ev.Packet, ev.Outcome)
+		case tracelog.KindOverhear:
+			l.OnOverhear(ev.T, ev.From, ev.To, ev.Packet)
+		case tracelog.KindCovered:
+			l.OnCovered(ev.T, ev.Packet)
+		}
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), tr.text) {
+		t.Errorf("%s: binary trace does not decode to the text trace's bytes", context)
+	}
 }
 
 // allProtocols is Names() plus flash (which needs CaptureProb > 0, supplied
@@ -77,30 +160,24 @@ func TestShardEquivalenceGrid(t *testing.T) {
 				if !reflect.DeepEqual(ref1, ref4) {
 					t.Errorf("%s reference: workers 4 diverged from workers 1", protocol)
 				}
-				if !bytes.Equal(refTrace1, refTrace4) {
-					t.Errorf("%s reference: traces diverge across worker counts", protocol)
-				}
+				equalTraces(t, refTrace1, refTrace4, protocol+" reference workers 1 vs 4")
 				ref8, refTrace8 := runSharded(t, cfg, protocol, 8, false)
 				if !reflect.DeepEqual(ref1, ref8) {
 					t.Errorf("%s reference: workers 8 diverged from workers 1", protocol)
 				}
-				if !bytes.Equal(refTrace1, refTrace8) {
-					t.Errorf("%s reference: workers 8 trace diverged from workers 1", protocol)
-				}
+				equalTraces(t, refTrace1, refTrace8, protocol+" reference workers 1 vs 8")
 				cmp1, cmpTrace1 := runSharded(t, cfg, protocol, 1, true)
 				cmp4, cmpTrace4 := runSharded(t, cfg, protocol, 4, true)
 				if !reflect.DeepEqual(cmp1, cmp4) {
 					t.Errorf("%s compact: workers 4 diverged from workers 1", protocol)
 				}
-				if !bytes.Equal(cmpTrace1, cmpTrace4) {
-					t.Errorf("%s compact: traces diverge across worker counts", protocol)
-				}
+				equalTraces(t, cmpTrace1, cmpTrace4, protocol+" compact workers 1 vs 4")
 				if !reflect.DeepEqual(ref4, cmp4) {
 					t.Errorf("%s: compact path diverged from reference path at workers 4", protocol)
 				}
-				if !bytes.Equal(refTrace4, cmpTrace4) {
-					t.Errorf("%s: compact trace diverged from reference trace at workers 4", protocol)
-				}
+				equalTraces(t, refTrace4, cmpTrace4, protocol+" reference vs compact at workers 4")
+				// The two encodings of one run must carry identical events.
+				checkRoundTrip(t, refTrace1, protocol+" reference workers 1")
 			}
 		})
 	}
@@ -165,8 +242,6 @@ func TestSparseAudibilityEndToEnd(t *testing.T) {
 		if !reflect.DeepEqual(dense, sparse) {
 			t.Errorf("%s: sparse audibility changed the run", protocol)
 		}
-		if !bytes.Equal(denseTrace, sparseTrace) {
-			t.Errorf("%s: sparse audibility changed the trace", protocol)
-		}
+		equalTraces(t, denseTrace, sparseTrace, protocol+" sparse vs dense audibility")
 	}
 }

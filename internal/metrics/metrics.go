@@ -53,14 +53,14 @@ func Combine(results []*sim.Result) (*Aggregate, error) {
 		MeanDelayPerPacket:    make([]float64, m),
 		MeanFirstHopPerPacket: make([]float64, m),
 	}
-	var pooled []float64
+	pooled := stats.NewDigest()
 	covered := 0
 	for p := 0; p < m; p++ {
 		var acc, hop stats.Running
 		for _, r := range results {
 			if r.Delay[p] >= 0 {
 				acc.Add(float64(r.Delay[p]))
-				pooled = append(pooled, float64(r.Delay[p]))
+				pooled.Add(float64(r.Delay[p]))
 				covered++
 			}
 			if r.FirstHopDelay[p] >= 0 {
@@ -70,7 +70,7 @@ func Combine(results []*sim.Result) (*Aggregate, error) {
 		agg.MeanDelayPerPacket[p] = acc.Mean() // NaN when empty
 		agg.MeanFirstHopPerPacket[p] = hop.Mean()
 	}
-	agg.Delay = stats.Summarize(pooled)
+	agg.Delay = pooled.Summary()
 	for _, r := range results {
 		agg.Failures += float64(r.Failures())
 		agg.Transmissions += float64(r.Transmissions)

@@ -62,7 +62,7 @@ func ComputeResilience(clean, faulted []*sim.Result, spec *fault.Schedule) (*Res
 		CleanCovered:   ca.CoveredFraction,
 		FaultedCovered: fa.CoveredFraction,
 	}
-	var pooled []float64
+	pooled := stats.NewDigest()
 	for _, res := range faulted {
 		times, err := RecoveryTimes(res, spec)
 		if err != nil {
@@ -74,10 +74,10 @@ func ComputeResilience(clean, faulted []*sim.Result, spec *fault.Schedule) (*Res
 				continue
 			}
 			r.Recovered++
-			pooled = append(pooled, float64(rt))
+			pooled.Add(float64(rt))
 		}
 	}
-	r.Recovery = stats.Summarize(pooled)
+	r.Recovery = pooled.Summary()
 	return r, nil
 }
 

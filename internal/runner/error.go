@@ -68,10 +68,17 @@ func (k Kind) String() string {
 // Sentinel errors matched by errors.Is against a *JobError, one per
 // abnormal Kind.
 var (
-	ErrPanic     = errors.New("runner: job panicked")
-	ErrTimeout   = errors.New("runner: job exceeded wall-clock timeout")
+	// ErrPanic matches KindPanic: the job's goroutine panicked.
+	ErrPanic = errors.New("runner: job panicked")
+	// ErrTimeout matches KindTimeout: the job overran its per-run
+	// wall-clock budget.
+	ErrTimeout = errors.New("runner: job exceeded wall-clock timeout")
+	// ErrSlotLimit matches KindSlotLimit: the simulation hit MaxSlots
+	// before completing.
 	ErrSlotLimit = errors.New("runner: job exceeded slot limit")
-	ErrCanceled  = errors.New("runner: batch canceled")
+	// ErrCanceled matches KindCanceled: the batch context was canceled
+	// for a reason other than a drain.
+	ErrCanceled = errors.New("runner: batch canceled")
 	// ErrShutdown doubles as the cancellation *cause* callers pass to
 	// signal a drain: cancel the batch context via context.WithCancelCause
 	// (or Batch.Cancel) with ErrShutdown — or an error wrapping it — and

@@ -372,16 +372,16 @@ var CSVHeader = []string{
 
 // CSVRow formats one finished cell as a CSV record in CSVHeader order.
 func CSVRow(c Cell, res *sim.Result) []string {
-	var delays []float64
+	delays := stats.NewDigest()
 	for _, d := range res.Delay {
 		if d >= 0 {
-			delays = append(delays, float64(d))
+			delays.Add(float64(d))
 		}
 	}
 	p50, p99 := "", ""
-	if len(delays) > 0 {
-		p50 = fmt.Sprintf("%.1f", stats.Percentile(delays, 50))
-		p99 = fmt.Sprintf("%.1f", stats.Percentile(delays, 99))
+	if delays.N() > 0 {
+		p50 = fmt.Sprintf("%.1f", delays.Quantile(0.50))
+		p99 = fmt.Sprintf("%.1f", delays.Quantile(0.99))
 	}
 	return []string{
 		res.Protocol,

@@ -29,12 +29,16 @@ import (
 // Kind discriminates event types.
 type Kind byte
 
-// Event kinds.
+// Event kinds, each also the line tag of the text encoding.
 const (
-	KindInject   Kind = 'I'
+	// KindInject marks a packet's injection at the source node.
+	KindInject Kind = 'I'
+	// KindTransmit is one transmission attempt with its outcome.
 	KindTransmit Kind = 'T'
+	// KindOverhear is a reception by a node that already held the packet.
 	KindOverhear Kind = 'O'
-	KindCovered  Kind = 'C'
+	// KindCovered marks a packet reaching the coverage target.
+	KindCovered Kind = 'C'
 )
 
 // Event is one decoded trace record. Fields not applicable to the kind are
@@ -102,8 +106,21 @@ func (l *Logger) OnCovered(t int64, packet int) {
 
 var _ sim.Observer = (*Logger)(nil)
 
-// Parse decodes a trace written by Logger. Malformed lines yield an error
-// naming the line number.
+// Parse decodes a trace written by Logger. Blank lines and lines starting
+// with '#' are skipped.
+//
+// Error contract: a malformed line stops the parse and returns a non-nil
+// error of the form
+//
+//	tracelog: line <n>: <what failed>: <the offending line>
+//
+// where <n> is the 1-based line number counted over ALL input lines
+// (including the skipped blanks and comments, so the number matches what
+// an editor shows) and the offending line is quoted verbatim, truncated if
+// very long. The returned events are always nil on error — Parse never
+// hands back a partial decode, so callers need no cleanup path. An I/O
+// failure from r is returned unwrapped (without the line prefix);
+// distinguish the two cases by unwrapping, not by string matching.
 func Parse(r io.Reader) ([]Event, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
@@ -118,7 +135,11 @@ func Parse(r io.Reader) ([]Event, error) {
 		fields := strings.Fields(text)
 		ev, err := parseEvent(fields)
 		if err != nil {
-			return nil, fmt.Errorf("tracelog: line %d: %w", line, err)
+			quoted := text
+			if len(quoted) > 120 {
+				quoted = quoted[:120] + "..."
+			}
+			return nil, fmt.Errorf("tracelog: line %d: %w: %q", line, err, quoted)
 		}
 		out = append(out, ev)
 	}

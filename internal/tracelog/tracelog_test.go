@@ -79,7 +79,7 @@ func TestParseErrorMessages(t *testing.T) {
 		{
 			name: "truncated transmission",
 			in:   "I 0 0\nT 4 1 2 0\n",
-			want: []string{"line 2", "want 6 fields, got 5"},
+			want: []string{"line 2", "want 6 fields, got 5", `"T 4 1 2 0"`},
 		},
 		{
 			name: "unknown kind byte",
@@ -105,6 +105,11 @@ func TestParseErrorMessages(t *testing.T) {
 			name: "overflowing slot number",
 			in:   "I 99999999999999999999999999 0\n",
 			want: []string{"line 1", "value out of range"},
+		},
+		{
+			name: "very long offending line is truncated in the message",
+			in:   "X " + strings.Repeat("9 ", 200) + "\n",
+			want: []string{"line 1", `unknown event tag "X"`, "..."},
 		},
 	}
 	for _, tc := range cases {
