@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race bench bench-engine bench-scale bench-guard docscheck figures figures-quick faults floodd-smoke floodd-chaos trace-smoke fuzz-faults fuzz-shard fuzz-trace examples clean
+.PHONY: all build vet test test-short test-race bench bench-engine bench-scale bench-guard docscheck figures figures-quick faults floodd-smoke floodd-chaos trace-smoke protocol-smoke fuzz-faults fuzz-shard fuzz-trace examples clean
 
 all: build vet test
 
@@ -81,6 +81,12 @@ floodd-chaos:
 # sweep traces. Mirrored in CI.
 trace-smoke:
 	sh scripts/trace-smoke.sh
+
+# Timer-protocol certification through the CLI: a small trickle+dflood
+# sweep built with -race, byte-identical CSVs at shard workers 1 vs 4,
+# and a deterministic serial rerun. Mirrored in CI.
+protocol-smoke:
+	sh scripts/protocol-smoke.sh
 
 # Randomized fault schedules vs engine invariants and compact-path
 # equivalence; CI runs a 10s smoke of this.

@@ -244,7 +244,7 @@ func measure(reps int) (*baseline, error) {
 		{"5pct", 20},
 	} {
 		scheds := schedule.AssignUniform(g.N(), duty.period, rngutil.New(1).SubName("schedule"))
-		for _, name := range []string{"opt", "dbao", "of"} {
+		for _, name := range []string{"opt", "dbao", "of", "trickle", "dflood"} {
 			c := benchCase{Protocol: name, Duty: duty.name, Period: duty.period}
 			slowNS, slowRes, err := timeCase(g, scheds, name, false, reps, nil)
 			if err != nil {

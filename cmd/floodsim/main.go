@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	floodsim [-protocol opt|dbao|of|naive] [-duty 0.05] [-m 100]
+//	floodsim [-protocol opt|dbao|of|naive|trickle|dflood|flash] [-duty 0.05] [-m 100]
 //	         [-coverage 0.99] [-seed 1] [-topo greenorbs|<file>]
 //	         [-toposeed 1] [-inject 1] [-v]
 //	         [-trace FILE] [-trace-format text|bin]
@@ -61,7 +61,7 @@ type options struct {
 
 func main() {
 	var o options
-	flag.StringVar(&o.protoName, "protocol", "opt", "flooding protocol: opt, dbao, of, naive")
+	flag.StringVar(&o.protoName, "protocol", "opt", "flooding protocol: opt, dbao, of, naive, trickle, dflood, flash")
 	flag.Float64Var(&o.duty, "duty", 0.05, "duty cycle in (0,1]")
 	flag.IntVar(&o.m, "m", 100, "number of packets to flood")
 	flag.Float64Var(&o.coverage, "coverage", 0.99, "delivery-ratio target for the delay metric")
@@ -129,6 +129,11 @@ func run(o options) error {
 		if binWriter != nil {
 			binWriter.Instrument(reg)
 		}
+		// Timer-driven protocols export message/suppression counters
+		// (flood.messages, flood.<name>.suppressed) into the registry.
+		if ip, ok := p.(interface{ Instrument(*telemetry.Registry) }); ok {
+			ip.Instrument(reg)
+		}
 		if o.debugAddr != "" {
 			srv, err := telemetry.Serve(o.debugAddr, reg)
 			if err != nil {
@@ -177,6 +182,14 @@ func run(o options) error {
 	fmt.Printf("failures:       %d (loss %d, collision %d, busy %d)\n",
 		res.Failures(), res.LossFailures, res.CollisionFailures, res.BusyFailures)
 	fmt.Printf("overheard:      %d\n", res.Overheard)
+	if messages, suppressed, ok := metrics.ProtocolCounters(p); ok {
+		fmt.Printf("suppressed:     %d (of %d timer firings considered)\n",
+			suppressed, messages+suppressed)
+		if summary, ok := metrics.SuppressionSummary(p); ok {
+			fmt.Printf("supp. per node: mean %.1f, median %.0f, max %.0f\n",
+				summary.Mean, summary.Median, summary.Max)
+		}
+	}
 
 	em := metrics.DefaultEnergyModel()
 	totalSeconds := float64(res.TotalSlots) * em.SlotSeconds

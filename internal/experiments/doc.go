@@ -26,6 +26,8 @@
 //	Backlog             source-queue stability (Section IV-B breakdown)
 //	Robustness          conclusions on a second deployment (testbed)
 //	Adaptive            DutyCon-style dynamic duty control vs static
+//	Faults              resilience under scripted fault injection
+//	TrickleScalability  timer-protocol message load vs network size
 //
 // All simulation-backed drivers take SimOptions; PaperSimOptions mirrors
 // the paper's parameters (M=100, duties 2–20%, 99% coverage) and

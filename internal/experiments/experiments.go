@@ -79,6 +79,9 @@ type SimOptions struct {
 	Duties []float64
 	// Protocols lists protocol names to evaluate (default opt, dbao, of).
 	Protocols []string
+	// ScaleSizes lists the node counts for the scalability study
+	// (default 300 → 100k; see TrickleScalability).
+	ScaleSizes []int
 	// Workers bounds how many simulations the batch runner executes
 	// concurrently in the sweep figures (0 = GOMAXPROCS). Results never
 	// depend on it; see internal/runner.
@@ -166,7 +169,8 @@ func All(opts SimOptions) ([]*FigureData, error) {
 // Section VI cross-layer sweep, schedule granularity, the per-node delay
 // CDF, synchronization-error sensitivity, the heterogeneous-link study,
 // the source-backlog stability probe, the cross-deployment robustness
-// check, and the fault-injection resilience study.
+// check, the fault-injection resilience study, and the timer-protocol
+// scalability study.
 func AllExtensions(opts SimOptions) ([]*FigureData, error) {
 	var out []*FigureData
 	steps := []func() (*FigureData, error){
@@ -181,6 +185,7 @@ func AllExtensions(opts SimOptions) ([]*FigureData, error) {
 		func() (*FigureData, error) { return Robustness(opts) },
 		func() (*FigureData, error) { return Adaptive(opts) },
 		func() (*FigureData, error) { return Faults(opts) },
+		func() (*FigureData, error) { return TrickleScalability(opts) },
 	}
 	for _, step := range steps {
 		fd, err := step()

@@ -15,6 +15,9 @@ func tinyOpts() SimOptions {
 		Coverage:  0.99,
 		Duties:    []float64{0.05, 0.20},
 		Protocols: []string{"opt", "dbao", "of"},
+		// Keep the scalability ladder tiny; the full 300→100k default is
+		// for cmd/figures runs, not unit tests.
+		ScaleSizes: []int{300, 600},
 	}
 }
 
@@ -291,7 +294,7 @@ func TestAllExtensionsQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []string{"gw", "halfduplex", "crosslayer", "granularity", "nodecdf", "syncerr", "hetero", "backlog", "robustness", "adaptive", "faults"}
+	want := []string{"gw", "halfduplex", "crosslayer", "granularity", "nodecdf", "syncerr", "hetero", "backlog", "robustness", "adaptive", "faults", "scale"}
 	if len(figs) != len(want) {
 		t.Fatalf("got %d extension figures, want %d", len(figs), len(want))
 	}

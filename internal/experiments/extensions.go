@@ -54,25 +54,28 @@ func NodeDelayCDF(opts SimOptions) (*FigureData, error) {
 		if len(raw) < 2 {
 			return nil, fmt.Errorf("experiments: nodecdf: %s reached %d nodes", name, len(raw))
 		}
-		delays := make([]float64, len(raw))
-		for i, d := range raw {
-			delays[i] = float64(d)
+		// Aggregate through a Digest rather than a retained sorted sample:
+		// below stats.ExactCap nodes (every stock topology) the CDF and
+		// percentiles are bit-identical to the sorted-sample computation,
+		// and past it the figure degrades to the sketch's eps rank error
+		// instead of O(N) memory per series.
+		dig := stats.NewDigest()
+		for _, d := range raw {
+			dig.Add(float64(d))
 		}
-		sort.Float64s(delays)
-		xs := make([]float64, len(delays))
-		ys := make([]float64, len(delays))
-		for i, d := range delays {
-			xs[i] = d
-			ys[i] = float64(i+1) / float64(g.N())
+		xs, cum := dig.CDF()
+		ys := make([]float64, len(xs))
+		for i, c := range cum {
+			ys[i] = float64(c) / float64(g.N())
 		}
 		fd.Series = append(fd.Series, Series{Name: res.Protocol, X: xs, Y: ys})
 		fd.TableRows = append(fd.TableRows, []string{
 			res.Protocol,
-			fmt.Sprintf("%.0f", stats.Percentile(delays, 50)),
-			fmt.Sprintf("%.0f", stats.Percentile(delays, 90)),
-			fmt.Sprintf("%.0f", stats.Percentile(delays, 99)),
-			fmt.Sprintf("%.0f", delays[len(delays)-1]),
-			fmt.Sprintf("%d/%d", len(delays), g.N()),
+			fmt.Sprintf("%.0f", dig.Quantile(0.50)),
+			fmt.Sprintf("%.0f", dig.Quantile(0.90)),
+			fmt.Sprintf("%.0f", dig.Quantile(0.99)),
+			fmt.Sprintf("%.0f", dig.Quantile(1)),
+			fmt.Sprintf("%d/%d", dig.N(), g.N()),
 		})
 	}
 	fd.Notes = append(fd.Notes,

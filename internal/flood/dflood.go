@@ -1,0 +1,237 @@
+package flood
+
+import (
+	"ldcflood/internal/rngutil"
+	"ldcflood/internal/sim"
+	"ldcflood/internal/telemetry"
+	"ldcflood/internal/topology"
+)
+
+// DFlood adapts dflood — duplicate-suppression flooding with adaptive
+// backoff (Otnes & Haavik, OCEANS'13; the SNIPPETS.md gr-dflood exemplar)
+// — to the engine's receiver-initiated slot model, with the exemplar's
+// timing constants: Tmin 5, Tmax 65, Ndupl 2 (slots standing in for the
+// exemplar's seconds).
+//
+// Per held packet a node schedules a forwarding slot: its reception slot
+// plus Tmin, plus a uniform jitter in [0, Tmax-Tmin), plus a
+// deterministic backoff that doubles with every transmission attempt
+// already made — the adaptive-backoff rule that spaces out repeats of the
+// same packet. Duplicate suppression is a liveness-preserving delay
+// rather than a permanent drop: once Ndupl or more of the node's
+// neighbors also hold the packet, each further duplicate postpones the
+// forwarding slot by another Tmax. The penalty is bounded by the node's
+// degree, so a packet some receiver still needs is always forwarded
+// eventually — a permanent drop would deadlock the receiver-initiated
+// engine. Penalty-blocked firings are tallied per node (FloodCounters,
+// flood.dflood.suppressed).
+//
+// Like Trickle, every timing quantity is a pure function of the pre-slot
+// world state and a keyed stream captured at Reset (jitter is keyed by
+// (node, packet, attempt)); the attempt counters advance only at emit
+// time in the serial phases. No engine hook is needed and the schedule is
+// bit-identical across the serial, sharded, reference and compact paths.
+type DFlood struct {
+	// Tmin and Tmax bound the per-packet forwarding delay in slots. Zero
+	// selects the exemplar defaults (5 and 65).
+	Tmin, Tmax int64
+	// Ndupl is the duplicate threshold: with at least Ndupl neighboring
+	// holders, each additional holder delays the forwarding slot by Tmax.
+	// Zero selects the default (2); negative disables the penalty.
+	Ndupl int
+	// MaxDoublings caps the per-attempt backoff doubling; past it the
+	// backoff grows linearly at Tmin << MaxDoublings per attempt. Zero
+	// selects the default (6).
+	MaxDoublings int
+	// DisableOverhearing restricts DFlood to pure unicast receptions
+	// (used by the serial-vs-planner metamorphic tests).
+	DisableOverhearing bool
+
+	m         int // packets per run (w.M), fixed at Reset
+	csr       *topology.CSR
+	timer     rngutil.Stream
+	assigned  []bool
+	attempts  []int32 // attempts[s*m+p]: transmissions of p by s so far
+	intentBuf []sim.Intent
+	sel       selScratch
+	supp      suppCounters
+}
+
+// NewDFlood returns a DFlood instance with the exemplar's parameters
+// (Tmin 5, Tmax 65, Ndupl 2).
+func NewDFlood() *DFlood { return &DFlood{} }
+
+// Name implements sim.Protocol.
+func (d *DFlood) Name() string { return "DFlood" }
+
+// Reset implements sim.Protocol.
+func (d *DFlood) Reset(w *sim.World) {
+	if d.Tmin <= 0 {
+		d.Tmin = 5
+	}
+	if d.Tmax <= d.Tmin {
+		d.Tmax = 65
+	}
+	if d.Ndupl == 0 {
+		d.Ndupl = 2
+	}
+	if d.MaxDoublings <= 0 {
+		d.MaxDoublings = 6
+	}
+	d.m = w.M
+	d.csr = w.Graph.CSR()
+	d.timer = *w.ProtoRNG.SubName("dflood.timer")
+	d.assigned = make([]bool, w.Graph.N())
+	d.attempts = make([]int32, w.Graph.N()*w.M)
+	d.supp.reset(w.Graph.N())
+}
+
+// CollisionsApply implements sim.Protocol.
+func (d *DFlood) CollisionsApply() bool { return true }
+
+// Overhears implements sim.Protocol: overheard duplicates are what the
+// suppression rule feeds on.
+func (d *DFlood) Overhears() bool { return !d.DisableOverhearing }
+
+// Instrument attaches telemetry: flood.messages counts emitted intents,
+// flood.dflood.suppressed counts duplicate-penalty-blocked firings.
+// Attaching never affects results (see docs/OBSERVABILITY.md).
+func (d *DFlood) Instrument(reg *telemetry.Registry) {
+	d.supp.instrument(reg, "flood.dflood.suppressed")
+}
+
+// FloodCounters returns the run's emitted-message and suppressed-firing
+// totals.
+func (d *DFlood) FloodCounters() (messages, suppressed int64) {
+	return d.supp.messages, d.supp.suppressed
+}
+
+// SuppressedPerNode returns the per-node suppressed-firing counts. The
+// slice is owned by the protocol; do not modify.
+func (d *DFlood) SuppressedPerNode() []int64 { return d.supp.perNode }
+
+// backoff returns the deterministic backoff accumulated over a prior
+// attempts: Tmin doubling per attempt, capped at Tmin << MaxDoublings,
+// in closed form.
+func (d *DFlood) backoff(a int32) int64 {
+	if a <= 0 {
+		return 0
+	}
+	da := int64(a)
+	cap64 := int64(d.MaxDoublings)
+	if da <= cap64 {
+		return d.Tmin * ((1 << da) - 1)
+	}
+	return d.Tmin * (((1 << cap64) - 1) + (da-cap64)<<cap64)
+}
+
+// fireSlots returns the base and penalized forwarding slots for packet p
+// at node s: reception slot + Tmin + keyed jitter + attempt backoff, and
+// the same plus the duplicate penalty (one Tmax per neighboring holder
+// at or past the Ndupl threshold). Pure; callers guarantee s holds p.
+func (d *DFlood) fireSlots(w *sim.World, s, p int) (base, required int64) {
+	a := d.attempts[s*d.m+p]
+	u := d.timer.PairFloat64(uint64(s)*uint64(d.m)+uint64(p), uint64(a))
+	base = w.RecvTime(p, s) + d.Tmin + int64(u*float64(d.Tmax-d.Tmin)) + d.backoff(a)
+	required = base
+	if d.Ndupl >= 0 {
+		holders := 0
+		row, _ := d.csr.Row(s)
+		for _, n32 := range row {
+			if w.Has(p, int(n32)) {
+				holders++
+			}
+		}
+		if holders >= d.Ndupl {
+			required += int64(holders-d.Ndupl+1) * d.Tmax
+		}
+	}
+	return base, required
+}
+
+// pairChoice evaluates what sender s offers receiver r this slot: among
+// the packets s holds and r lacks whose base forwarding slot has passed,
+// the one with the smallest penalized slot (ties to the smaller packet
+// index) if that slot has passed too — otherwise the pair is
+// duplicate-blocked. It returns the packet (-1 when nothing is due), the
+// penalized slot of the choice, and whether the pair is blocked.
+func (d *DFlood) pairChoice(w *sim.World, s, r int, now int64) (pkt int, required int64, blocked bool) {
+	pkt = -1
+	blockedPkt := -1
+	for p := 0; p < w.Injected(); p++ {
+		if !w.Has(p, s) || w.Has(p, r) {
+			continue
+		}
+		base, req := d.fireSlots(w, s, p)
+		if now < base {
+			continue // not yet due at all
+		}
+		if now < req {
+			if blockedPkt < 0 {
+				blockedPkt = p
+			}
+			continue // due, but duplicate-penalty-blocked
+		}
+		if pkt < 0 || req < required {
+			pkt, required = p, req
+		}
+	}
+	if pkt < 0 && blockedPkt >= 0 {
+		return blockedPkt, 0, true
+	}
+	return pkt, required, false
+}
+
+// Intents implements sim.Protocol: for each awake receiver, the due
+// neighbor with the earliest forwarding slot (ties to the first in row
+// order) transmits its chosen packet; duplicate-blocked pairs are tallied
+// but stay silent. The full row is scanned so the suppression tally
+// matches the planner path exactly.
+func (d *DFlood) Intents(w *sim.World) []sim.Intent {
+	out := d.intentBuf[:0]
+	now := w.Now()
+	for _, r := range w.AwakeList() {
+		if !w.NeedsAnything(r) {
+			continue
+		}
+		row, _ := d.csr.Row(r)
+		best, bestPkt := -1, 0
+		var bestReq int64
+		for _, s32 := range row {
+			s := int(s32)
+			if !w.AnyNeeded(s, r) {
+				continue
+			}
+			pkt, req, blocked := d.pairChoice(w, s, r, now)
+			if pkt < 0 {
+				continue
+			}
+			if blocked {
+				d.supp.note(s32)
+				continue
+			}
+			if d.assigned[s] {
+				continue
+			}
+			if deferToReception(w, s) {
+				continue
+			}
+			if best < 0 || req < bestReq {
+				best, bestReq, bestPkt = s, req, pkt
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		d.assigned[best] = true
+		d.attempts[best*d.m+bestPkt]++
+		d.supp.message()
+		out = append(out, sim.Intent{From: best, To: r, Packet: bestPkt})
+	}
+	d.intentBuf = out
+	for _, in := range out {
+		d.assigned[in.From] = false
+	}
+	d.supp.endSlot()
+	return out
+}

@@ -57,10 +57,15 @@ func faultCfg(g *topology.Graph, faults *fault.Schedule, seed uint64) sim.Config
 	}
 }
 
+// faultGridProtocols is the protocol list every fault-equivalence grid
+// iterates: the full registry evaluation set, so a newly registered
+// protocol cannot silently skip fault certification.
+func faultGridProtocols() []string { return Names() }
+
 // TestFaultEquivalence is the acceptance-criteria suite: for every fault
-// family, CompactTime=true and false must produce identical results and
-// byte-identical trace logs — via the fast path for static schedules, via
-// the silent fallback for dynamic ones.
+// family and every registered protocol, CompactTime=true and false must
+// produce identical results and byte-identical trace logs — via the fast
+// path for static schedules, via the silent fallback for dynamic ones.
 func TestFaultEquivalence(t *testing.T) {
 	for name, fs := range faultSchedules() {
 		fs := fs
@@ -68,7 +73,7 @@ func TestFaultEquivalence(t *testing.T) {
 			t.Parallel()
 			g := topology.Grid(6, 6, 0.8)
 			cfg := faultCfg(g, fs, 1234)
-			for _, protocol := range []string{"opt", "dbao"} {
+			for _, protocol := range faultGridProtocols() {
 				slow, fast, slowTrace, fastTrace := runBoth(t, cfg, protocol)
 				if !reflect.DeepEqual(slow, fast) {
 					t.Errorf("%s: results diverge:\nslow %+v\nfast %+v", protocol, slow, fast)
@@ -87,7 +92,7 @@ func TestFaultEquivalence(t *testing.T) {
 func TestFaultEquivalenceAllProtocols(t *testing.T) {
 	g := topology.Grid(6, 6, 0.8)
 	cfg := faultCfg(g, faultSchedules()["mixed"], 77)
-	for _, protocol := range Names() {
+	for _, protocol := range faultGridProtocols() {
 		slow, fast, slowTrace, fastTrace := runBoth(t, cfg, protocol)
 		if !reflect.DeepEqual(slow, fast) {
 			t.Errorf("%s: results diverge:\nslow %+v\nfast %+v", protocol, slow, fast)

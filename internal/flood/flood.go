@@ -1,5 +1,6 @@
 // Package flood implements the flooding protocols the paper evaluates
-// (Section V-A) on top of the sim engine:
+// (Section V-A) on top of the sim engine, plus the protocol families the
+// related work analyzes:
 //
 //   - OPT: the oracle scheme — every sensor receives from its best-quality
 //     neighbor, no collisions ever occur.
@@ -11,6 +12,25 @@
 //     opportunistic forwarding decisions.
 //   - Naive: flat unicast flooding with no link-quality knowledge — the
 //     traditional-protocol baseline the introduction argues against.
+//   - Trickle: interval-doubling timers with a redundancy constant K and
+//     suppression counting (Levis et al., NSDI'04; RFC 6206). Suppressed
+//     firings are tallied per node and surfaced through telemetry.
+//   - DFlood: duplicate-suppression flooding with adaptive backoff (Otnes
+//     & Haavik, OCEANS'13), with the duplicate penalty realized as a
+//     bounded delay so floods always complete.
+//   - Flash: concurrent flash flooding (Lu & Whitehouse, INFOCOM'09) —
+//     every holder transmits at once and receivers decode by capture.
+//     Precondition: run it with sim.Config.CaptureProb > 0; with capture
+//     disabled the concurrent transmissions simply collide, which is why
+//     Flash is registered in New but excluded from the Names evaluation
+//     set.
+//
+// Trickle and DFlood derive all timer state from keyed RNG streams
+// captured at Reset plus pure world-state reads, so their schedules are
+// bit-identical across the serial/sharded and reference/compact engine
+// paths; their suppression behavior is tuned for liveness under the
+// receiver-initiated engine (see the type docs for the exact backoff and
+// suppression preconditions).
 package flood
 
 import (
@@ -21,7 +41,7 @@ import (
 )
 
 // New returns a fresh protocol instance by name (case-insensitive):
-// "opt", "dbao", "of", "naive".
+// "opt", "dbao", "of", "naive", "trickle", "dflood", "flash".
 func New(name string) (sim.Protocol, error) {
 	switch strings.ToLower(name) {
 	case "opt":
@@ -32,17 +52,21 @@ func New(name string) (sim.Protocol, error) {
 		return NewOF(), nil
 	case "naive":
 		return NewNaive(), nil
+	case "trickle":
+		return NewTrickle(), nil
+	case "dflood":
+		return NewDFlood(), nil
 	case "flash":
 		return NewFlash(), nil
 	default:
-		return nil, fmt.Errorf("flood: unknown protocol %q (want opt, dbao, of, naive, flash)", name)
+		return nil, fmt.Errorf("flood: unknown protocol %q (want opt, dbao, of, naive, trickle, dflood, flash)", name)
 	}
 }
 
 // Names lists the available protocol names in evaluation order. Flash is
 // excluded because it additionally requires sim.Config.CaptureProb > 0;
 // request it explicitly with New("flash").
-func Names() []string { return []string{"opt", "dbao", "of", "naive"} }
+func Names() []string { return []string{"opt", "dbao", "of", "naive", "trickle", "dflood"} }
 
 // deferToReception reports whether a prospective sender should stay silent
 // this slot to keep its own reception opportunity open. A node that is

@@ -69,6 +69,12 @@ const (
 	// back-off winner and the hidden-terminal test is this precomputed
 	// (parallel) bit instead of a serial audibility search.
 	candAudibleTop uint8 = 1 << 2
+	// candSuppressed marks a Trickle/DFlood candidate whose firing is
+	// suppressed this slot (redundancy rule / duplicate penalty).
+	// Selection never emits it — it is planned only so the serial
+	// selection pass can tally the suppression exactly as the serial
+	// Intents scan does (PlanReceiver itself must stay mutation-free).
+	candSuppressed uint8 = 1 << 3
 )
 
 // deferKeyed is the sharded-path defer-to-reception decision: same
@@ -437,6 +443,144 @@ func (f *Flash) SelectIntents(w *sim.World, plan *sim.SlotPlan, emit func(in sim
 	f.sel.emitted = sel
 }
 
+// ---- Trickle ----
+
+// PlanReceiver implements sim.ShardPlanner: every neighbor holding a
+// packet r needs whose Trickle timer is armed this slot (fire point
+// passed within the current interval), in row order.
+// Suppressed firings are planned with candSuppressed so the serial
+// selection pass can tally them; timer state is pure (keyed stream
+// captured at Reset), so the scan reads nothing mutable.
+func (t *Trickle) PlanReceiver(w *sim.World, r int, slot *rngutil.Stream, buf []sim.Candidate) []sim.Candidate {
+	if !w.NeedsAnything(r) {
+		return buf
+	}
+	now := w.Now()
+	row, prrs := t.csr.Row(r)
+	for i, s32 := range row {
+		s := int(s32)
+		if !w.AnyNeeded(s, r) {
+			continue
+		}
+		start, length := t.intervalAt(lastResetOf(w, s), now)
+		if t.firePoint(s, start, length) > now {
+			continue
+		}
+		var flags uint8
+		if t.suppressedAt(w, s, start) {
+			flags = candSuppressed
+		} else if deferKeyed(w, s, slot) {
+			flags = candDeferred
+		}
+		buf = append(buf, sim.Candidate{Node: s32, Packet: sim.PacketFCFS, Flags: flags, PRR: prrs[i]})
+	}
+	return buf
+}
+
+// SelectIntents implements sim.ShardPlanner: the first unassigned,
+// unsuppressed, undeferred firing candidate in row order serves each
+// receiver — the serial scan's rule — while suppressed candidates are
+// tallied with the same per-slot sender dedupe the serial path applies.
+func (t *Trickle) SelectIntents(w *sim.World, plan *sim.SlotPlan, emit func(in sim.Intent, prr float64)) {
+	sel := t.sel.emitted[:0]
+	for i := 0; i < plan.Len(); i++ {
+		r := plan.Receiver(i)
+		chosen := false
+		for _, c := range plan.Candidates(i) {
+			if c.Flags&candSuppressed != 0 {
+				t.supp.note(c.Node)
+				continue
+			}
+			if chosen || c.Flags&candDeferred != 0 || t.assigned[c.Node] {
+				continue
+			}
+			t.assigned[c.Node] = true
+			chosen = true
+			sel = append(sel, c.Node)
+			t.supp.message()
+			emit(sim.Intent{From: int(c.Node), To: r, Packet: sim.PacketFCFS}, c.PRR)
+		}
+	}
+	for _, s := range sel {
+		t.assigned[s] = false
+	}
+	t.sel.emitted = sel
+	t.supp.endSlot()
+}
+
+// ---- DFlood ----
+
+// PlanReceiver implements sim.ShardPlanner: every due neighbor with its
+// chosen packet and penalized forwarding slot (stashed in U — exact below
+// 2^53), duplicate-blocked pairs planned with candSuppressed for the
+// serial tally. The attempt counters it reads advance only in the serial
+// SelectIntents pass.
+func (d *DFlood) PlanReceiver(w *sim.World, r int, slot *rngutil.Stream, buf []sim.Candidate) []sim.Candidate {
+	if !w.NeedsAnything(r) {
+		return buf
+	}
+	now := w.Now()
+	row, prrs := d.csr.Row(r)
+	for i, s32 := range row {
+		s := int(s32)
+		if !w.AnyNeeded(s, r) {
+			continue
+		}
+		pkt, req, blocked := d.pairChoice(w, s, r, now)
+		if pkt < 0 {
+			continue
+		}
+		var flags uint8
+		if blocked {
+			flags = candSuppressed
+		} else if deferKeyed(w, s, slot) {
+			flags = candDeferred
+		}
+		buf = append(buf, sim.Candidate{Node: s32, Packet: int32(pkt), Flags: flags, PRR: prrs[i], U: float64(req)})
+	}
+	return buf
+}
+
+// SelectIntents implements sim.ShardPlanner: per receiver, the
+// unassigned, undeferred candidate with the smallest penalized forwarding
+// slot (ties to the first in row order) transmits and its attempt counter
+// advances; duplicate-blocked candidates are tallied.
+func (d *DFlood) SelectIntents(w *sim.World, plan *sim.SlotPlan, emit func(in sim.Intent, prr float64)) {
+	sel := d.sel.emitted[:0]
+	for i := 0; i < plan.Len(); i++ {
+		r := plan.Receiver(i)
+		cands := plan.Candidates(i)
+		wi := -1
+		for j := range cands {
+			c := &cands[j]
+			if c.Flags&candSuppressed != 0 {
+				d.supp.note(c.Node)
+				continue
+			}
+			if c.Flags&candDeferred != 0 || d.assigned[c.Node] {
+				continue
+			}
+			if wi < 0 || c.U < cands[wi].U {
+				wi = j
+			}
+		}
+		if wi < 0 {
+			continue
+		}
+		c := cands[wi]
+		d.assigned[c.Node] = true
+		d.attempts[int(c.Node)*d.m+int(c.Packet)]++
+		sel = append(sel, c.Node)
+		d.supp.message()
+		emit(sim.Intent{From: int(c.Node), To: r, Packet: int(c.Packet)}, c.PRR)
+	}
+	for _, s := range sel {
+		d.assigned[s] = false
+	}
+	d.sel.emitted = sel
+	d.supp.endSlot()
+}
+
 // Compile-time interface checks: every protocol plans.
 var (
 	_ sim.ShardPlanner = (*OPT)(nil)
@@ -444,4 +588,6 @@ var (
 	_ sim.ShardPlanner = (*Naive)(nil)
 	_ sim.ShardPlanner = (*OF)(nil)
 	_ sim.ShardPlanner = (*Flash)(nil)
+	_ sim.ShardPlanner = (*Trickle)(nil)
+	_ sim.ShardPlanner = (*DFlood)(nil)
 )

@@ -81,6 +81,11 @@ func TestPlannerMatchesSerialOnDeterministicSubspace(t *testing.T) {
 		// Aggressiveness large enough that forwardProbability clamps to 1
 		// for every candidate density, making opportunistic firing certain.
 		{"of-max-aggressive", func() sim.Protocol { return &OF{Aggressiveness: 1e12} }},
+		// The timer protocols' only sequential draw is defer-to-reception;
+		// with it zeroed their keyed timers make serial and planner paths
+		// identical with no further parameter degeneration.
+		{"trickle", func() sim.Protocol { return &Trickle{DisableOverhearing: true} }},
+		{"dflood", func() sim.Protocol { return &DFlood{DisableOverhearing: true} }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

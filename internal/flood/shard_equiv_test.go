@@ -141,10 +141,11 @@ func shardCfg(g *topology.Graph, faults *fault.Schedule, seed uint64) sim.Config
 }
 
 // TestShardEquivalenceGrid is the sharded acceptance grid: every protocol ×
-// both time paths × every fault family (plus the unfaulted case), workers 1
-// and workers 4 must produce identical results and byte-identical traces;
-// and at workers 4 the compact path must reproduce the reference path, the
-// same guarantee the serial engine certifies elsewhere.
+// both time paths × every fault family (plus the unfaulted case), workers
+// 1, 2, 4 (and 8 on the reference path) must produce identical results and
+// byte-identical traces; and at workers 4 the compact path must reproduce
+// the reference path, the same guarantee the serial engine certifies
+// elsewhere.
 func TestShardEquivalenceGrid(t *testing.T) {
 	schedules := faultSchedules()
 	schedules["none"] = nil
@@ -157,16 +158,24 @@ func TestShardEquivalenceGrid(t *testing.T) {
 			for _, protocol := range allProtocols() {
 				ref1, refTrace1 := runSharded(t, cfg, protocol, 1, false)
 				ref4, refTrace4 := runSharded(t, cfg, protocol, 4, false)
+				for _, workers := range []int{2, 8} {
+					refW, refTraceW := runSharded(t, cfg, protocol, workers, false)
+					if !reflect.DeepEqual(ref1, refW) {
+						t.Errorf("%s reference: workers %d diverged from workers 1", protocol, workers)
+					}
+					equalTraces(t, refTrace1, refTraceW,
+						protocol+" reference workers 1 vs more")
+				}
 				if !reflect.DeepEqual(ref1, ref4) {
 					t.Errorf("%s reference: workers 4 diverged from workers 1", protocol)
 				}
 				equalTraces(t, refTrace1, refTrace4, protocol+" reference workers 1 vs 4")
-				ref8, refTrace8 := runSharded(t, cfg, protocol, 8, false)
-				if !reflect.DeepEqual(ref1, ref8) {
-					t.Errorf("%s reference: workers 8 diverged from workers 1", protocol)
-				}
-				equalTraces(t, refTrace1, refTrace8, protocol+" reference workers 1 vs 8")
 				cmp1, cmpTrace1 := runSharded(t, cfg, protocol, 1, true)
+				cmp2, cmpTrace2 := runSharded(t, cfg, protocol, 2, true)
+				if !reflect.DeepEqual(cmp1, cmp2) {
+					t.Errorf("%s compact: workers 2 diverged from workers 1", protocol)
+				}
+				equalTraces(t, cmpTrace1, cmpTrace2, protocol+" compact workers 1 vs 2")
 				cmp4, cmpTrace4 := runSharded(t, cfg, protocol, 4, true)
 				if !reflect.DeepEqual(cmp1, cmp4) {
 					t.Errorf("%s compact: workers 4 diverged from workers 1", protocol)

@@ -1,0 +1,59 @@
+package metrics
+
+import (
+	"testing"
+
+	"ldcflood/internal/flood"
+	"ldcflood/internal/rngutil"
+	"ldcflood/internal/schedule"
+	"ldcflood/internal/sim"
+	"ldcflood/internal/topology"
+)
+
+func TestProtocolCounters(t *testing.T) {
+	g := topology.Grid(6, 6, 0.8)
+	scheds := schedule.AssignUniform(g.N(), 20, rngutil.New(42).SubName("schedule"))
+
+	for _, name := range []string{"trickle", "dflood"} {
+		p, err := flood.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(sim.Config{
+			Graph: g, Schedules: scheds, Protocol: p,
+			M: 3, Coverage: 0.99, Seed: 7, MaxSlots: 200000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		messages, suppressed, ok := ProtocolCounters(p)
+		if !ok {
+			t.Fatalf("%s: expected counters", name)
+		}
+		if int(messages) != res.Transmissions {
+			t.Errorf("%s: messages %d != transmissions %d", name, messages, res.Transmissions)
+		}
+		summary, ok := SuppressionSummary(p)
+		if !ok {
+			t.Fatalf("%s: expected a suppression summary", name)
+		}
+		if summary.N != g.N() {
+			t.Errorf("%s: summary over %d nodes, want %d", name, summary.N, g.N())
+		}
+		if got := summary.Mean * float64(summary.N); got != float64(suppressed) {
+			t.Errorf("%s: per-node mean*N = %v, total %d", name, got, suppressed)
+		}
+	}
+
+	// Counter-free protocols answer ok=false from both helpers.
+	p, err := flood.New("opt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := ProtocolCounters(p); ok {
+		t.Error("opt should not expose flood counters")
+	}
+	if _, ok := SuppressionSummary(p); ok {
+		t.Error("opt should not expose a suppression summary")
+	}
+}

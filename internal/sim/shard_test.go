@@ -232,6 +232,153 @@ func TestRelabelingInvariance(t *testing.T) {
 	}
 }
 
+// keyedTimerProtocol is a timer-driven strategy in the style of the
+// trickle/dflood implementations: each sender's fire point within the
+// current 8-slot frame is a pure keyed derivation from a stream captured
+// at Reset, and a receiver accepts a sender only when exactly one audible
+// holder fires this slot. The key function maps node labels to timer
+// identities, so composing it with a permutation transports every draw:
+// keyed streams have no sequential state to desynchronize.
+func keyedTimerProtocol(key func(int) int) *FuncProtocol {
+	var timer rngutil.Stream
+	return &FuncProtocol{
+		ProtocolName: "keyed-timer",
+		ResetFunc: func(w *World) {
+			timer = *w.ProtoRNG.SubName("timer")
+		},
+		IntentsFunc: func(w *World) []Intent {
+			const frame = 8
+			now := w.Now()
+			start := now / frame * frame
+			fires := func(s int) bool {
+				u := timer.PairFloat64(uint64(key(s)), uint64(start))
+				return start+int64(u*frame) == now
+			}
+			type pick struct{ from, to int }
+			var picks []pick
+			senderCount := make([]int, w.Graph.N())
+			for _, r := range w.AwakeList() {
+				if w.Has(0, r) {
+					continue
+				}
+				chosen, count := -1, 0
+				for _, l := range w.Graph.Neighbors(r) {
+					if w.Has(0, l.To) && fires(l.To) {
+						chosen = l.To
+						count++
+					}
+				}
+				if count == 1 {
+					picks = append(picks, pick{chosen, r})
+					senderCount[chosen]++
+				}
+			}
+			var out []Intent
+			for _, pk := range picks {
+				if senderCount[pk.from] == 1 {
+					out = append(out, Intent{From: pk.from, To: pk.to, Packet: 0})
+				}
+			}
+			return out
+		},
+	}
+}
+
+// TestKeyedTimerRelabelingInvariance is the metamorphic companion to
+// TestRelabelingInvariance for timer-driven protocols: keyed stream
+// derivations are pure functions of (key, frame), so permuting the node
+// labels AND transporting the timer keys through the same permutation must
+// permute the outcome exactly — on the serial path, the sharded path, and
+// both time modes. This is the property that lets trickle and dflood keep
+// bit-identical schedules across every engine mode without any engine-side
+// timer state.
+func TestKeyedTimerRelabelingInvariance(t *testing.T) {
+	const n, period = 40, 5
+	build := func(perm []int) (*topology.Graph, []*schedule.Schedule) {
+		g := topology.New(n)
+		for i := 0; i+1 < n; i++ {
+			g.AddLink(perm[i], perm[i+1], 1)
+		}
+		g.SortNeighbors()
+		scheds := make([]*schedule.Schedule, n)
+		for i := 0; i < n; i++ {
+			scheds[perm[i]] = schedule.NewSingleSlot(period, i%period)
+		}
+		return g, scheds
+	}
+	run := func(perm, role []int, workers int, compact bool) *Result {
+		g, scheds := build(perm)
+		res, err := Run(Config{
+			Graph:            g,
+			Schedules:        scheds,
+			Protocol:         keyedTimerProtocol(func(s int) int { return role[s] }),
+			M:                1,
+			Coverage:         1,
+			Seed:             7,
+			MaxSlots:         40000,
+			RecordReceptions: true,
+			Workers:          workers,
+			CompactTime:      compact,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Completed {
+			t.Fatal("keyed-timer run did not complete")
+		}
+		return res
+	}
+
+	id := make([]int, n)
+	for i := range id {
+		id[i] = i
+	}
+	base := run(id, id, 0, false)
+
+	// Fix the source (injection is defined at node 0), scramble the rest,
+	// and transport the timer identity: node perm[i] plays role i.
+	perm := make([]int, n)
+	perm[0] = 0
+	for i, v := range rngutil.New(99).Perm(n - 1) {
+		perm[i+1] = v + 1
+	}
+	role := make([]int, n)
+	for i, v := range perm {
+		role[v] = i
+	}
+
+	for _, mode := range []struct {
+		name    string
+		workers int
+		compact bool
+	}{
+		{"serial", 0, false},
+		{"sharded-4", 4, false},
+		{"serial-compact", 0, true},
+		{"sharded-4-compact", 4, true},
+	} {
+		got := run(perm, role, mode.workers, mode.compact)
+		if got.Transmissions != base.Transmissions || got.TotalSlots != base.TotalSlots ||
+			!reflect.DeepEqual(got.Delay, base.Delay) ||
+			!reflect.DeepEqual(got.CoverTime, base.CoverTime) {
+			t.Fatalf("%s: aggregates changed under relabeling", mode.name)
+		}
+		for i := 0; i < n; i++ {
+			if got.TxPerNode[perm[i]] != base.TxPerNode[i] {
+				t.Fatalf("%s: TxPerNode[σ(%d)] = %d, want %d",
+					mode.name, i, got.TxPerNode[perm[i]], base.TxPerNode[i])
+			}
+			if got.NodeRecvTime[0][perm[i]] != base.NodeRecvTime[0][i] {
+				t.Fatalf("%s: NodeRecvTime[σ(%d)] = %d, want %d",
+					mode.name, i, got.NodeRecvTime[0][perm[i]], base.NodeRecvTime[0][i])
+			}
+		}
+		if gotID := run(id, id, mode.workers, mode.compact); !reflect.DeepEqual(gotID, base) {
+			t.Fatalf("%s: identity run differs from serial base", mode.name)
+		}
+	}
+}
+
 // TestForcedLargeGraphStructures certifies the scale substitutions are
 // RNG-neutral: forcing the CSR link-lookup path (dense matrix disabled) and
 // the compact plan's sparse adjacency on a small graph reproduces the dense

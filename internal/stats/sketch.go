@@ -315,6 +315,40 @@ func (d *Digest) Summary() Summary {
 	}
 }
 
+// CDF returns the digest's empirical distribution as parallel slices:
+// values in ascending order and the cumulative observation count at each
+// value. In exact mode every retained observation contributes one point
+// (duplicates included), so plotting values[i] against
+// float64(cumCounts[i])/N reproduces the retained-sample CDF bit for bit —
+// the contract the nodecdf figure relies on. In approximate mode each GK
+// tuple contributes one point at its minimum rank, so the curve carries
+// the sketch's eps rank-error bound and its length is the O(1/eps) summary
+// size rather than N. Both slices are freshly allocated; an empty digest
+// returns nil, nil.
+func (d *Digest) CDF() (values []float64, cumCounts []int64) {
+	if d.q.n == 0 {
+		return nil, nil
+	}
+	if d.q.tuples == nil {
+		values = append([]float64(nil), d.q.raw...)
+		sort.Float64s(values)
+		cumCounts = make([]int64, len(values))
+		for i := range cumCounts {
+			cumCounts[i] = int64(i + 1)
+		}
+		return values, cumCounts
+	}
+	values = make([]float64, len(d.q.tuples))
+	cumCounts = make([]int64, len(d.q.tuples))
+	var rmin int64
+	for i, t := range d.q.tuples {
+		rmin += t.g
+		values[i] = t.v
+		cumCounts[i] = rmin
+	}
+	return values, cumCounts
+}
+
 // Merge folds another histogram with the identical bin layout into h;
 // mismatched layouts panic (a wiring bug — histograms are only mergeable
 // when they describe the same bins).

@@ -299,3 +299,75 @@ func TestQuantileSketchEpsMismatch(t *testing.T) {
 	}()
 	a.Merge(b)
 }
+
+// TestDigestCDFExact: below ExactCap, CDF must reproduce the retained
+// sorted sample point for point — values bit-identical to the sorted
+// input (duplicates included), cumulative counts 1..N. This is the
+// contract that lets figure aggregation swap a retained []float64 for a
+// Digest without moving a byte of output.
+func TestDigestCDFExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for name, xs := range distributions(rng, 1000) {
+		d := NewDigest()
+		for _, x := range xs {
+			d.Add(x)
+		}
+		if !d.Exact() {
+			t.Fatalf("%s: digest collapsed below ExactCap", name)
+		}
+		values, cum := d.CDF()
+		want := append([]float64(nil), xs...)
+		sort.Float64s(want)
+		if !reflect.DeepEqual(values, want) {
+			t.Fatalf("%s: exact CDF values differ from the sorted sample", name)
+		}
+		for i, c := range cum {
+			if c != int64(i+1) {
+				t.Fatalf("%s: cumCounts[%d] = %d, want %d", name, i, c, i+1)
+			}
+		}
+	}
+}
+
+// TestDigestCDFSketched: past ExactCap the CDF is the GK summary — values
+// sorted, cumulative counts strictly increasing and ending at N, size
+// bounded by the summary, and every point's implied quantile within the
+// sketch's rank-error budget of the true empirical CDF.
+func TestDigestCDFSketched(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n = 3 * ExactCap
+	for name, xs := range distributions(rng, n) {
+		d := NewDigest()
+		for _, x := range xs {
+			d.Add(x)
+		}
+		if d.Exact() {
+			t.Fatalf("%s: digest still exact past ExactCap", name)
+		}
+		values, cum := d.CDF()
+		if len(values) != len(cum) || len(values) == 0 {
+			t.Fatalf("%s: mismatched CDF slices (%d, %d)", name, len(values), len(cum))
+		}
+		if len(values) >= n {
+			t.Fatalf("%s: sketched CDF has %d points for %d observations", name, len(values), n)
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		prev := int64(0)
+		for i, v := range values {
+			if i > 0 && v < values[i-1] {
+				t.Fatalf("%s: CDF values not sorted at %d", name, i)
+			}
+			if cum[i] <= prev {
+				t.Fatalf("%s: cumCounts not increasing at %d", name, i)
+			}
+			prev = cum[i]
+			if e := rankError(sorted, v, float64(cum[i])/float64(n)); e > 2*DefaultEps {
+				t.Fatalf("%s: CDF point %d rank error %v exceeds budget", name, i, e)
+			}
+		}
+		if cum[len(cum)-1] != int64(n) {
+			t.Fatalf("%s: CDF ends at %d, want %d", name, cum[len(cum)-1], n)
+		}
+	}
+}
